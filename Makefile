@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test race bench verify repro clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/simulator ./internal/core ./internal/shm
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# End-to-end self-check: every algorithm vs its paper equation.
+verify:
+	$(GO) run ./cmd/matscale verify
+
+# Regenerate the complete reproduction (all tables and figures).
+repro:
+	$(GO) run ./cmd/matscale all | tee REPRODUCTION.txt
+
+clean:
+	rm -f REPRODUCTION.txt test_output.txt bench_output.txt

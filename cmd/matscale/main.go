@@ -1,0 +1,354 @@
+// Command matscale reproduces the tables and figures of Gupta & Kumar,
+// "Scalability of Parallel Algorithms for Matrix Multiplication"
+// (ICPP 1993), and runs the library's parallel formulations on the
+// virtual-time multicomputer.
+//
+// Usage:
+//
+//	matscale table1     [-ts 150 -tw 3]
+//	matscale regions    -fig 1|2|3 [-pmax 30 -nmax 16] [-csv]
+//	matscale efficiency -fig 4|5 [-csv|-plot]
+//	matscale run        -alg gk|cannon|fox|foxpipe|simple|berntsen|dns|auto
+//	                    -n 64 -p 64 [-machine ncube2|fast|simd|cm5]
+//	                    [-a A.csv -b B.csv -out C.csv]
+//	matscale isoeff     [-ts 150 -tw 3 -e 0.5]
+//	matscale compare    [-ts 150 -tw 3]
+//	matscale allport    [-ts 10 -tw 3]
+//	matscale tech       [-ts 0.5 -tw 3 -p 16384 -e 0.05 -k 2]
+//	matscale improved   [-ts 9 -tw 1 -p 512]
+//	matscale isoval     [-alg cannon|gk -e 0.5]
+//	matscale predict
+//	matscale sweep      [-n 64 -p 64 -tw 3]
+//	matscale saturation [-n 64 -ts 150 -tw 3]
+//	matscale verify
+//	matscale trace      [-op broadcast|allgather|...|gk -p 8 -m 64]
+//	matscale all        [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"matscale"
+	"matscale/internal/experiments"
+	"matscale/internal/iso"
+	"matscale/internal/model"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "table1":
+		err = cmdTable1(args)
+	case "regions":
+		err = cmdRegions(args)
+	case "efficiency":
+		err = cmdEfficiency(args)
+	case "run":
+		err = cmdRun(args)
+	case "isoeff":
+		err = cmdIsoeff(args)
+	case "compare":
+		err = cmdCompare(args)
+	case "allport":
+		err = cmdAllPort(args)
+	case "tech":
+		err = cmdTech(args)
+	case "improved":
+		err = cmdImproved(args)
+	case "isoval":
+		err = cmdIsoVal(args)
+	case "predict":
+		err = cmdPredict(args)
+	case "verify":
+		err = cmdVerify(args)
+	case "trace":
+		err = cmdTrace(args)
+	case "sweep":
+		err = cmdSweep(args)
+	case "saturation":
+		err = cmdSaturation(args)
+	case "all":
+		err = cmdAll(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "matscale: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "matscale:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `matscale — reproduce Gupta & Kumar, ICPP'93 matrix multiplication scalability
+
+commands:
+  table1       Table 1: overheads, isoefficiency, applicability
+  regions      Figures 1-3: best-algorithm region maps
+  efficiency   Figures 4-5: CM-5 efficiency curves and crossover
+  run          run one algorithm (or -alg auto) on a simulated machine
+  isoeff       numeric isoefficiency curves for all algorithms
+  compare      Section 6: pairwise crossover analysis
+  allport      Section 7: all-port communication scalability
+  tech         Section 8: more vs faster processors
+  improved     Section 5.4.1: GK with Johnsson-Ho broadcast
+  isoval       validate isoefficiency in simulation (constant-E scaling)
+  predict      cross-validate the Section 6 predictions against races
+  verify       self-check: every algorithm vs its paper equation
+  trace        render the virtual-time schedule of a collective
+  sweep        GK-vs-Cannon winner as the startup time ts varies
+  saturation   fixed-size speedup saturation (Section 3)
+  all          regenerate the complete reproduction in one run`)
+}
+
+func paramFlags(fs *flag.FlagSet, ts, tw float64) (*float64, *float64) {
+	return fs.Float64("ts", ts, "message startup time (flop units)"),
+		fs.Float64("tw", tw, "per-word transfer time (flop units)")
+}
+
+func cmdTable1(args []string) error {
+	fs := flag.NewFlagSet("table1", flag.ExitOnError)
+	ts, tw := paramFlags(fs, 150, 3)
+	fs.Parse(args)
+	fmt.Print(experiments.Table1(model.Params{Ts: *ts, Tw: *tw}))
+	return nil
+}
+
+func cmdRegions(args []string) error {
+	fs := flag.NewFlagSet("regions", flag.ExitOnError)
+	fig := fs.Int("fig", 1, "figure number (1, 2 or 3)")
+	pmax := fs.Int("pmax", 30, "largest p as a power of two exponent")
+	nmax := fs.Int("nmax", 16, "largest n as a power of two exponent")
+	csv := fs.Bool("csv", false, "emit CSV instead of the rendered map")
+	fs.Parse(args)
+	m, err := experiments.RegionFigure(*fig, *pmax, *nmax)
+	if err != nil {
+		return err
+	}
+	if *csv {
+		fmt.Print(m.CSV())
+		return nil
+	}
+	fmt.Printf("Figure %d\n%s", *fig, m.Render())
+	return nil
+}
+
+func cmdEfficiency(args []string) error {
+	fs := flag.NewFlagSet("efficiency", flag.ExitOnError)
+	fig := fs.Int("fig", 4, "figure number (4 or 5)")
+	csv := fs.Bool("csv", false, "emit CSV instead of the rendered table")
+	asPlot := fs.Bool("plot", false, "draw an ASCII chart instead of the table")
+	fs.Parse(args)
+	f, err := experiments.EfficiencyFigure(*fig)
+	if err != nil {
+		return err
+	}
+	if *csv {
+		fmt.Print(f.CSV())
+		return nil
+	}
+	if *asPlot {
+		fmt.Print(f.Plot())
+		return nil
+	}
+	fmt.Print(f.Render())
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	algName := fs.String("alg", "auto", "algorithm: gk, gkimproved, cannon, fox, foxpipe, simple, berntsen, dns, auto")
+	n := fs.Int("n", 64, "matrix dimension")
+	p := fs.Int("p", 64, "processors")
+	machineName := fs.String("machine", "ncube2", "machine preset: ncube2, fast, simd, cm5, custom")
+	ts, tw := paramFlags(fs, 150, 3)
+	seed := fs.Uint64("seed", 1, "matrix seed")
+	aFile := fs.String("a", "", "CSV file for matrix A (random if empty)")
+	bFile := fs.String("b", "", "CSV file for matrix B (random if empty)")
+	outFile := fs.String("out", "", "write the product as CSV to this file")
+	fs.Parse(args)
+
+	var m *matscale.Machine
+	switch *machineName {
+	case "ncube2":
+		m = matscale.NCube2(*p)
+	case "fast":
+		m = matscale.FutureHypercube(*p)
+	case "simd":
+		m = matscale.SIMD(*p)
+	case "cm5":
+		m = matscale.CM5(*p)
+	case "custom":
+		m = matscale.Hypercube(*p, *ts, *tw)
+	default:
+		return fmt.Errorf("unknown machine %q", *machineName)
+	}
+
+	a := matscale.RandomMatrix(*n, *n, *seed)
+	b := matscale.RandomMatrix(*n, *n, *seed+1)
+	if *aFile != "" || *bFile != "" {
+		if *aFile == "" || *bFile == "" {
+			return fmt.Errorf("provide both -a and -b, or neither")
+		}
+		var err error
+		if a, err = readMatrixFile(*aFile); err != nil {
+			return err
+		}
+		if b, err = readMatrixFile(*bFile); err != nil {
+			return err
+		}
+		if a.Rows != *n {
+			fmt.Printf("note: using n=%d from %s (overriding -n)\n", a.Rows, *aFile)
+			*n = a.Rows
+		}
+	}
+
+	var res *matscale.Result
+	var err error
+	name := *algName
+	if name == "auto" {
+		res, name, err = matscale.AutoMul(m, a, b)
+	} else {
+		algs := map[string]matscale.Algorithm{
+			"gk": matscale.GK, "gkimproved": matscale.GKImprovedBroadcast,
+			"cannon": matscale.Cannon, "fox": matscale.Fox, "foxpipe": matscale.FoxPipelined,
+			"simple": matscale.Simple, "berntsen": matscale.Berntsen, "dns": matscale.DNS,
+		}
+		alg, ok := algs[name]
+		if !ok {
+			return fmt.Errorf("unknown algorithm %q", name)
+		}
+		res, err = alg(m, a, b)
+	}
+	if err != nil {
+		return err
+	}
+
+	serial := matscale.Mul(a, b)
+	maxDiff := 0.0
+	for i := range serial.Data {
+		if d := math.Abs(serial.Data[i] - res.C.Data[i]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	fmt.Printf("algorithm:  %s\n", name)
+	fmt.Printf("machine:    %s\n", m)
+	fmt.Printf("n=%d  p=%d  W=n^3=%.0f\n", *n, *p, res.W())
+	fmt.Printf("Tp:         %.1f flop units\n", res.Sim.Tp)
+	fmt.Printf("speedup:    %.2f\n", res.Speedup())
+	fmt.Printf("efficiency: %.4f\n", res.Efficiency())
+	fmt.Printf("overhead:   %.1f (To = p·Tp − W)\n", res.Overhead())
+	fmt.Printf("messages:   %d (%d words moved)\n", res.Sim.Messages, res.Sim.Words)
+	fmt.Printf("verified:   max |C - serial| = %g\n", maxDiff)
+	if *outFile != "" {
+		if err := writeMatrixFile(*outFile, res.C); err != nil {
+			return err
+		}
+		fmt.Printf("product:    written to %s\n", *outFile)
+	}
+	return nil
+}
+
+func readMatrixFile(path string) (*matscale.Matrix, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return matscale.ReadCSV(f)
+}
+
+func writeMatrixFile(path string, m *matscale.Matrix) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return matscale.WriteCSV(f, m)
+}
+
+func cmdIsoeff(args []string) error {
+	fs := flag.NewFlagSet("isoeff", flag.ExitOnError)
+	ts, tw := paramFlags(fs, 150, 3)
+	e := fs.Float64("e", 0.5, "target efficiency")
+	fs.Parse(args)
+	pr := model.Params{Ts: *ts, Tw: *tw}
+	fmt.Printf("Isoefficiency curves (ts=%g, tw=%g, E=%g): problem size W needed to hold E\n", *ts, *tw, *e)
+	fmt.Printf("%8s", "p")
+	for _, s := range model.Specs() {
+		fmt.Printf(" %14s", s.Name)
+	}
+	fmt.Println()
+	for exp := 4; exp <= 24; exp += 4 {
+		p := math.Pow(2, float64(exp))
+		fmt.Printf("    2^%-2d", exp)
+		for _, s := range model.Specs() {
+			target := *e
+			if s.Name == "DNS" {
+				if cap := iso.MaxEfficiencyDNS(*ts, *tw); target >= cap {
+					fmt.Printf(" %14s", "E>ceiling")
+					continue
+				}
+			}
+			w, ok := iso.SolveW(func(n, q float64) float64 { return s.To(pr, n, q) }, p, target)
+			if !ok {
+				fmt.Printf(" %14s", "-")
+				continue
+			}
+			fmt.Printf(" %14.3g", w)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func cmdCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	ts, tw := paramFlags(fs, 150, 3)
+	fs.Parse(args)
+	fmt.Print(experiments.CrossoverReport(model.Params{Ts: *ts, Tw: *tw}))
+	return nil
+}
+
+func cmdAllPort(args []string) error {
+	fs := flag.NewFlagSet("allport", flag.ExitOnError)
+	ts, tw := paramFlags(fs, 10, 3)
+	fs.Parse(args)
+	fmt.Print(experiments.AllPortReport(model.Params{Ts: *ts, Tw: *tw}))
+	return nil
+}
+
+func cmdTech(args []string) error {
+	fs := flag.NewFlagSet("tech", flag.ExitOnError)
+	ts, tw := paramFlags(fs, 0.5, 3)
+	p := fs.Float64("p", 1<<14, "processor count")
+	e := fs.Float64("e", 0.05, "target efficiency")
+	k := fs.Float64("k", 2, "scaling factor")
+	fs.Parse(args)
+	s, err := experiments.TechnologyReport(model.Params{Ts: *ts, Tw: *tw}, *p, *e, *k)
+	if err != nil {
+		return err
+	}
+	fmt.Print(s)
+	return nil
+}
+
+func cmdImproved(args []string) error {
+	fs := flag.NewFlagSet("improved", flag.ExitOnError)
+	ts, tw := paramFlags(fs, 9, 1)
+	p := fs.Int("p", 512, "processor count (power of 8)")
+	fs.Parse(args)
+	fmt.Print(experiments.ImprovedGKReport(model.Params{Ts: *ts, Tw: *tw}, *p))
+	return nil
+}

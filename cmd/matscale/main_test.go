@@ -1,0 +1,329 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs f with os.Stdout redirected and returns what it printed.
+func capture(t *testing.T, f func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	runErr := f()
+	w.Close()
+	var buf bytes.Buffer
+	if _, err := io.Copy(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), runErr
+}
+
+func TestCmdTable1(t *testing.T) {
+	out, err := capture(t, func() error { return cmdTable1([]string{"-ts", "10"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"Cannon", "GK", "ts=10"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("table1 output missing %q", frag)
+		}
+	}
+}
+
+func TestCmdRegions(t *testing.T) {
+	out, err := capture(t, func() error { return cmdRegions([]string{"-fig", "2", "-pmax", "10", "-nmax", "6"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Figure 2") || !strings.Contains(out, "a=GK") {
+		t.Errorf("regions output malformed:\n%s", out)
+	}
+	if _, err := capture(t, func() error { return cmdRegions([]string{"-fig", "9"}) }); err == nil {
+		t.Error("bad figure accepted")
+	}
+}
+
+func TestCmdRunAllAlgorithms(t *testing.T) {
+	for _, alg := range []string{"gk", "gkimproved", "cannon", "fox", "foxpipe", "simple", "auto"} {
+		out, err := capture(t, func() error {
+			return cmdRun([]string{"-alg", alg, "-n", "16", "-p", "16", "-machine", "custom", "-ts", "17", "-tw", "3"})
+		})
+		if alg == "gk" || alg == "gkimproved" {
+			// p=16 is not a cube: these must fail cleanly.
+			if err == nil {
+				t.Errorf("%s accepted a non-cube p", alg)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: %v", alg, err)
+			continue
+		}
+		if !strings.Contains(out, "efficiency:") || !strings.Contains(out, "verified:") {
+			t.Errorf("%s output missing fields:\n%s", alg, out)
+		}
+	}
+}
+
+func TestCmdRunGKOnCube(t *testing.T) {
+	out, err := capture(t, func() error {
+		return cmdRun([]string{"-alg", "gk", "-n", "16", "-p", "64", "-machine", "cm5"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "algorithm:  gk") {
+		t.Errorf("run output malformed:\n%s", out)
+	}
+}
+
+func TestCmdRunErrors(t *testing.T) {
+	if _, err := capture(t, func() error { return cmdRun([]string{"-alg", "nope"}) }); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if _, err := capture(t, func() error { return cmdRun([]string{"-machine", "nope"}) }); err == nil {
+		t.Error("unknown machine accepted")
+	}
+	if _, err := capture(t, func() error { return cmdRun([]string{"-alg", "dns", "-n", "16", "-p", "64"}) }); err == nil {
+		t.Error("DNS below applicability accepted")
+	}
+}
+
+func TestCmdIsoeff(t *testing.T) {
+	out, err := capture(t, func() error { return cmdIsoeff([]string{"-e", "0.5"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Isoefficiency curves") || !strings.Contains(out, "E>ceiling") {
+		t.Errorf("isoeff output malformed:\n%s", out)
+	}
+}
+
+func TestCmdCompare(t *testing.T) {
+	out, err := capture(t, func() error { return cmdCompare(nil) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "1.3e8") {
+		t.Errorf("compare output missing cutoff:\n%s", out)
+	}
+}
+
+func TestCmdAllPort(t *testing.T) {
+	out, err := capture(t, func() error { return cmdAllPort(nil) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "does not improve") {
+		t.Errorf("allport output missing conclusion:\n%s", out)
+	}
+}
+
+func TestCmdTech(t *testing.T) {
+	out, err := capture(t, func() error { return cmdTech(nil) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "more processors") {
+		t.Errorf("tech output malformed:\n%s", out)
+	}
+	if _, err := capture(t, func() error { return cmdTech([]string{"-ts", "150", "-e", "0.9"}) }); err == nil {
+		t.Error("tech above DNS ceiling accepted")
+	}
+}
+
+func TestCmdImproved(t *testing.T) {
+	out, err := capture(t, func() error { return cmdImproved(nil) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "improved") {
+		t.Errorf("improved output malformed:\n%s", out)
+	}
+}
+
+func TestCmdIsoVal(t *testing.T) {
+	out, err := capture(t, func() error { return cmdIsoVal([]string{"-alg", "cannon"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "E simulated") {
+		t.Errorf("isoval output malformed:\n%s", out)
+	}
+	if _, err := capture(t, func() error { return cmdIsoVal([]string{"-alg", "nope"}) }); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestCmdPredict(t *testing.T) {
+	out, err := capture(t, func() error { return cmdPredict(nil) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "predicted correctly") {
+		t.Errorf("predict output malformed:\n%s", out)
+	}
+}
+
+func TestCmdVerifyPasses(t *testing.T) {
+	out, err := capture(t, func() error { return cmdVerify(nil) })
+	if err != nil {
+		t.Fatalf("self-check failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "all checks passed") || strings.Contains(out, "FAIL") {
+		t.Errorf("verify output:\n%s", out)
+	}
+}
+
+func TestCmdEfficiencyBadFigure(t *testing.T) {
+	if _, err := capture(t, func() error { return cmdEfficiency([]string{"-fig", "7"}) }); err == nil {
+		t.Error("bad efficiency figure accepted")
+	}
+}
+
+func TestCmdTrace(t *testing.T) {
+	for _, op := range []string{"broadcast", "allgather", "reduce", "reducescatter", "alltoall", "allreduce"} {
+		out, err := capture(t, func() error {
+			return cmdTrace([]string{"-op", op, "-p", "8", "-m", "16", "-width", "40"})
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", op, err)
+		}
+		if !strings.Contains(out, "Tp =") || !strings.Contains(out, "p0") {
+			t.Errorf("%s trace output malformed:\n%s", op, out)
+		}
+	}
+	if _, err := capture(t, func() error { return cmdTrace([]string{"-op", "nope"}) }); err == nil {
+		t.Error("unknown trace op accepted")
+	}
+}
+
+func TestCmdRegionsCSV(t *testing.T) {
+	out, err := capture(t, func() error { return cmdRegions([]string{"-fig", "1", "-pmax", "6", "-nmax", "4", "-csv"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "log2_n") || !strings.Contains(out, ",a") && !strings.Contains(out, ",b") {
+		t.Errorf("regions CSV malformed:\n%s", out)
+	}
+}
+
+func TestCmdSweep(t *testing.T) {
+	out, err := capture(t, func() error { return cmdSweep([]string{"-n", "16", "-p", "64"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "winner") {
+		t.Errorf("sweep output malformed:\n%s", out)
+	}
+}
+
+func TestCmdSaturation(t *testing.T) {
+	out, err := capture(t, func() error { return cmdSaturation([]string{"-n", "16"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "speedup") {
+		t.Errorf("saturation output malformed:\n%s", out)
+	}
+}
+
+func TestCmdAllQuick(t *testing.T) {
+	out, err := capture(t, func() error { return cmdAll([]string{"-quick"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Table 1") || !strings.Contains(out, "Section 8") {
+		t.Errorf("all output malformed (len %d)", len(out))
+	}
+}
+
+func TestCmdEfficiencyCSVFlagParses(t *testing.T) {
+	// Only verify flag wiring quickly; the full sweeps are covered in
+	// the experiments package (they take seconds).
+	fsOK := []string{"-fig", "9", "-csv"}
+	if _, err := capture(t, func() error { return cmdEfficiency(fsOK) }); err == nil {
+		t.Error("bad figure with -csv accepted")
+	}
+	fsPlot := []string{"-fig", "9", "-plot"}
+	if _, err := capture(t, func() error { return cmdEfficiency(fsPlot) }); err == nil {
+		t.Error("bad figure with -plot accepted")
+	}
+}
+
+func TestCmdRunWithCSVFiles(t *testing.T) {
+	dir := t.TempDir()
+	aPath := dir + "/a.csv"
+	bPath := dir + "/b.csv"
+	outPath := dir + "/c.csv"
+	// 4x4 identity times a 4x4 ramp.
+	var id, ramp strings.Builder
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if j > 0 {
+				id.WriteByte(',')
+				ramp.WriteByte(',')
+			}
+			if i == j {
+				id.WriteByte('1')
+			} else {
+				id.WriteByte('0')
+			}
+			fmt.Fprintf(&ramp, "%d", i*4+j)
+		}
+		id.WriteByte('\n')
+		ramp.WriteByte('\n')
+	}
+	if err := os.WriteFile(aPath, []byte(id.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bPath, []byte(ramp.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error {
+		return cmdRun([]string{"-alg", "cannon", "-p", "4", "-machine", "cm5",
+			"-a", aPath, "-b", bPath, "-out", outPath})
+	})
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(string(data)); got != strings.TrimSpace(ramp.String()) {
+		t.Fatalf("I·B = %q, want the ramp", got)
+	}
+	if _, err := capture(t, func() error {
+		return cmdRun([]string{"-a", aPath}) // missing -b
+	}); err == nil {
+		t.Error("missing -b accepted")
+	}
+	if _, err := capture(t, func() error {
+		return cmdRun([]string{"-a", dir + "/missing.csv", "-b", bPath})
+	}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestCmdTraceGK(t *testing.T) {
+	out, err := capture(t, func() error {
+		return cmdTrace([]string{"-op", "gk", "-p", "8", "-width", "50"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "GK algorithm") || !strings.Contains(out, "p0") {
+		t.Errorf("gk trace malformed:\n%s", out)
+	}
+}

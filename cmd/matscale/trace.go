@@ -1,0 +1,87 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"matscale/internal/collective"
+	"matscale/internal/core"
+	"matscale/internal/machine"
+	"matscale/internal/matrix"
+	"matscale/internal/simulator"
+	"matscale/internal/topology"
+)
+
+// cmdTrace renders the virtual-time schedule of one collective
+// operation — the building blocks whose closed-form costs underpin
+// every equation in the paper. C = computing, S = sending, . = waiting.
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	op := fs.String("op", "broadcast", "operation: broadcast, allgather, reduce, reducescatter, alltoall, allreduce, gk")
+	p := fs.Int("p", 8, "processors (power of two)")
+	words := fs.Int("m", 64, "message words per processor")
+	ts, tw := paramFlags(fs, 17, 3)
+	width := fs.Int("width", 72, "timeline width in columns")
+	fs.Parse(args)
+
+	m := machine.Hypercube(*p, *ts, *tw)
+	group := make([]int, *p)
+	for i := range group {
+		group[i] = i
+	}
+
+	var body func(pr *simulator.Proc)
+	switch *op {
+	case "broadcast":
+		body = func(pr *simulator.Proc) {
+			var data []float64
+			if pr.Rank() == 0 {
+				data = make([]float64, *words)
+			}
+			collective.Broadcast(pr, group, 0, 1, data)
+		}
+	case "allgather":
+		body = func(pr *simulator.Proc) {
+			collective.AllGather(pr, group, 1, make([]float64, *words))
+		}
+	case "reduce":
+		body = func(pr *simulator.Proc) {
+			collective.Reduce(pr, group, 0, 1, make([]float64, *words))
+		}
+	case "reducescatter":
+		body = func(pr *simulator.Proc) {
+			collective.ReduceScatter(pr, group, 1, make([]float64, *words**p))
+		}
+	case "alltoall":
+		body = func(pr *simulator.Proc) {
+			collective.AllToAll(pr, group, 1, make([]float64, *words**p))
+		}
+	case "allreduce":
+		body = func(pr *simulator.Proc) {
+			collective.AllReduce(pr, group, 1, make([]float64, *words**p))
+		}
+	case "gk":
+		// Trace the paper's algorithm itself: its three-stage structure
+		// (distribute A and B, multiply, reduce) shows in the timeline.
+		n := 4 * topology.IntCbrt(*p)
+		res, tr, err := core.GKTraced(m, matrix.RandomInts(n, n, 1), matrix.RandomInts(n, n, 2))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("GK algorithm, n=%d, %s\n", n, m)
+		fmt.Print(tr.Timeline(*width))
+		fmt.Printf("Tp = %.1f   messages = %d   words moved = %d\n", res.Sim.Tp, res.Sim.Messages, res.Sim.Words)
+		return nil
+	default:
+		return fmt.Errorf("unknown operation %q", *op)
+	}
+
+	res, tr, err := simulator.RunTraced(m, body)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s over %d processors, %d words, %s\n", *op, *p, *words, m)
+	fmt.Print(tr.Timeline(*width))
+	fmt.Printf("Tp = %.1f   messages = %d   words moved = %d\n", res.Tp, res.Messages, res.Words)
+	return nil
+}

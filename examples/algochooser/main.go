@@ -1,0 +1,78 @@
+// algochooser demonstrates the paper's concluding idea: "all the
+// algorithms can be stored in a library and the best algorithm can be
+// pulled out by a smart preprocessor/compiler depending on the various
+// parameters." AutoMul picks the formulation the Section 6 overhead
+// analysis predicts to win for each machine and problem size, runs it,
+// and the example cross-checks the choice by racing every applicable
+// algorithm.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"matscale"
+)
+
+func main() {
+	cases := []struct {
+		name string
+		m    *matscale.Machine
+		n    int
+	}{
+		{"nCUBE-2-like, 64 procs, large matrices", matscale.NCube2(64), 512},
+		{"nCUBE-2-like, 4096 procs, small matrices", matscale.NCube2(4096), 64},
+		{"SIMD (ts=0.5), 4096 procs, medium matrices", matscale.SIMD(4096), 128},
+		{"CM-5, 64 procs, small matrices", matscale.CM5(64), 48},
+	}
+
+	for _, c := range cases {
+		fmt.Printf("== %s (n=%d, p=%d)\n", c.name, c.n, c.m.P())
+		a := matscale.RandomMatrix(c.n, c.n, 11)
+		b := matscale.RandomMatrix(c.n, c.n, 12)
+
+		res, chosen, err := matscale.AutoMul(c.m, a, b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("   AutoMul chose %-9s Tp=%.0f  E=%.3f\n", chosen, res.Sim.Tp, res.Efficiency())
+
+		// Race the rest of the library for comparison.
+		algs := []struct {
+			name string
+			alg  matscale.Algorithm
+		}{
+			{"GK", matscale.GK},
+			{"Cannon", matscale.Cannon},
+			{"Berntsen", matscale.Berntsen},
+			{"Simple", matscale.Simple},
+			{"Fox", matscale.Fox},
+			{"DNS", matscale.DNS},
+		}
+		for _, x := range algs {
+			r, err := x.alg(c.m, a, b)
+			if err != nil {
+				fmt.Printf("   %-9s not applicable (%v)\n", x.name, shortErr(err))
+				continue
+			}
+			marker := ""
+			if r.Sim.Tp < res.Sim.Tp {
+				marker = "  <- faster, but memory-inefficient (excluded from §6's choice)"
+			}
+			fmt.Printf("   %-9s Tp=%.0f  E=%.3f%s\n", x.name, r.Sim.Tp, r.Efficiency(), marker)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Note: the chooser compares the four algorithms of the paper's Section 6.")
+	fmt.Println("The simple algorithm can be marginally faster at moderate scale but needs")
+	fmt.Println("O(n²·√p) total memory instead of O(n²) (Section 4.1), so the paper — and")
+	fmt.Println("the chooser — leave it out.")
+}
+
+func shortErr(err error) string {
+	s := err.Error()
+	if len(s) > 60 {
+		return s[:60] + "..."
+	}
+	return s
+}

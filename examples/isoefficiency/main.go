@@ -1,0 +1,48 @@
+// isoefficiency walks through the paper's scalability methodology
+// (Sections 3, 5 and 8): it solves the isoefficiency relation
+// W = K·To(W, p) for each algorithm, shows Berntsen's concurrency-
+// limited O(p²) scalability and the DNS efficiency ceiling, and runs
+// the Section 8 technology tradeoff.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"matscale/internal/experiments"
+	"matscale/internal/iso"
+	"matscale/internal/model"
+)
+
+func main() {
+	pr := model.Params{Ts: 150, Tw: 3}
+
+	fmt.Println("How fast must the problem grow to hold 50% efficiency?")
+	fmt.Printf("%10s %16s %16s %16s\n", "p", "Cannon W", "GK W", "Berntsen W*")
+	bernCap := func(n float64) float64 { return math.Pow(n, 1.5) }
+	for exp := 8; exp <= 24; exp += 4 {
+		p := math.Pow(2, float64(exp))
+		cannon, _ := iso.SolveW(func(n, q float64) float64 { return model.CannonTo(pr, n, q) }, p, 0.5)
+		gk, _ := iso.SolveW(func(n, q float64) float64 { return model.GKTo(pr, n, q) }, p, 0.5)
+		bern, _ := iso.OverallW(func(n, q float64) float64 { return model.BerntsenTo(pr, n, q) }, bernCap, p, 0.5)
+		fmt.Printf("%10.0f %16.3g %16.3g %16.3g\n", p, cannon, gk, bern)
+	}
+	fmt.Println("(*including the p ≤ n^(3/2) concurrency limit that makes Berntsen O(p²))")
+	fmt.Println()
+
+	ceiling := iso.MaxEfficiencyDNS(pr.Ts, pr.Tw)
+	fmt.Printf("DNS efficiency ceiling on this machine: 1/(1+2(ts+tw)) = %.4f\n", ceiling)
+	fmt.Println("   (no problem size can push DNS above it — Section 5.3)")
+	fmt.Println()
+
+	fmt.Println(experiments.Table1(pr))
+
+	s, err := experiments.TechnologyReport(model.Params{Ts: 0.5, Tw: 3}, 1<<14, 0.05, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(s)
+	fmt.Println("\nContrary to conventional wisdom, more-but-slower processors can need")
+	fmt.Println("less problem growth than fewer-but-faster ones (Section 8).")
+}

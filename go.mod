@@ -1,0 +1,3 @@
+module matscale
+
+go 1.22

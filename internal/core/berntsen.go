@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+
+	"matscale/internal/collective"
+	"matscale/internal/machine"
+	"matscale/internal/matrix"
+	"matscale/internal/simulator"
+	"matscale/internal/topology"
+)
+
+const (
+	tagBernAlignA = 500
+	tagBernAlignB = 501
+	tagBernShiftA = 502
+	tagBernShiftB = 503
+	tagBernReduce = 520
+)
+
+// Berntsen implements Berntsen's communication-efficient hypercube
+// algorithm (Section 4.4). With p = 2^(3q) processors, matrix A is
+// split by columns and B by rows into s = 2^q bands, so that
+// C = Σ_c A_c·B_c is a sum of s outer products. The hypercube splits
+// into s subcubes of s×s processors; subcube c computes A_c·B_c with
+// Cannon's algorithm on rectangular blocks (A blocks of n/s × n/s²,
+// B blocks of n/s² × n/s), and the s partial products are summed by
+// recursive halving across subcubes, leaving C distributed with n²/p
+// elements per processor.
+//
+// The algorithm requires p ≤ n^(3/2) (its limited concurrency is what
+// gives it the worst isoefficiency, O(p²), despite the smallest
+// communication overhead). Measured parallel time is exactly
+//
+//	Tp = n³/p + 2·p^(1/3)·(ts + tw·n²/p)
+//	     + ts·(1/3)·log₂p + tw·(n²/p^(2/3))·(1 − p^(-1/3))
+//
+// which is the paper's Eq. (5) with the reduction's exact 1−1/s factor
+// (the paper rounds it up to 1, writing 3·tw·n²/p^(2/3) in total).
+func Berntsen(m *machine.Machine, a, b *matrix.Dense) (*Result, error) {
+	n, err := checkInputs(m, a, b)
+	if err != nil {
+		return nil, err
+	}
+	p := m.P()
+	s, err := cubeSide(n, p)
+	if err != nil {
+		return nil, err
+	}
+	// p ≤ n^(3/2) written as p² ≤ n³, exact in float64 for the sizes in
+	// range (math.Pow(n, 1.5) is not exact even on the boundary).
+	if float64(p)*float64(p) > float64(n)*float64(n)*float64(n) {
+		return nil, fmt.Errorf("core: Berntsen requires p ≤ n^(3/2), got p=%d n=%d", p, n)
+	}
+	if n%(s*s) != 0 {
+		return nil, fmt.Errorf("core: Berntsen needs p^(2/3) = %d to divide n = %d", s*s, n)
+	}
+
+	mesh := topology.NewTorus2D(s, s)
+	aBands := matrix.ColumnBands(a, s) // n × n/s each
+	bBands := matrix.RowBands(b, s)    // n/s × n each
+	bh := n / s                        // product block side
+	sliceLen := bh * bh / s            // words per processor after reduce-scatter
+	rowsPerSlice := sliceLen / bh      // the slice is whole rows of the block
+
+	var product *matrix.Dense
+	sim, err := simulator.Run(m, func(pr *simulator.Proc) {
+		cube := pr.Rank() / (s * s)
+		meshRank := pr.Rank() % (s * s)
+		i, j := mesh.Coords(meshRank)
+		base := cube * s * s
+		rankOf := func(r int) int { return base + r }
+
+		myA := matrix.Partition(aBands[cube], s, s).Block(i, j) // n/s × n/s²
+		myB := matrix.Partition(bBands[cube], s, s).Block(i, j) // n/s² × n/s
+		tags := cannonTags{alignA: tagBernAlignA, alignB: tagBernAlignB, shiftA: tagBernShiftA, shiftB: tagBernShiftB}
+		partial := cannonRoll(pr, mesh, rankOf, i, j, myA, myB, tags) // n/s × n/s
+
+		// Sum the s partial products across subcubes; each processor
+		// keeps a 1/s slice of its block's total.
+		group := make([]int, s)
+		for c := range group {
+			group[c] = c*s*s + meshRank
+		}
+		slice, off := collective.ReduceScatter(pr, group, tagBernReduce, blockData(partial))
+
+		// Verification gather: rank 0 reassembles C from the p slices.
+		if pr.Rank() != 0 {
+			pr.SendFree(0, tagGatherC, slice)
+			return
+		}
+		cFull := matrix.New(n, n)
+		for r := 0; r < p; r++ {
+			var sl []float64
+			var o int
+			if r == 0 {
+				sl, o = slice, off
+			} else {
+				sl = pr.Recv(r, tagGatherC)
+				o = (r / (s * s)) * sliceLen // offset is determined by the subcube index
+			}
+			mr := r % (s * s)
+			bi, bj := mesh.Coords(mr)
+			r0 := bi*bh + o/bh
+			blk := blockFrom(sl, rowsPerSlice, bh)
+			cFull.SetBlock(r0, bj*bh, blk)
+		}
+		product = cFull
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{C: product, Sim: sim, N: n, P: p}, nil
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"matscale/internal/matrix"
+	"matscale/internal/simulator"
+	"matscale/internal/topology"
+)
+
+// cannonTags carries the four tag streams one Cannon phase needs.
+type cannonTags struct {
+	alignA, alignB, shiftA, shiftB int
+}
+
+// cannonRoll runs the heart of Cannon's algorithm — the initial
+// skewing alignment followed by s multiply-and-roll steps — on an
+// s×s logical mesh of processors embedded anywhere in the machine via
+// rankOf (mesh rank → global rank). The calling processor occupies
+// mesh position (i, j) and contributes blocks myA and myB; the
+// rectangular case (myA is h×w, myB is w×h with differing h, w) is what
+// Berntsen's algorithm runs inside each subcube.
+//
+// The alignment moves at zero virtual cost (ignored by the paper on a
+// cut-through hypercube); each of the 2s rolls is a nearest-neighbor
+// transfer paid once. The returned product block is h×h.
+func cannonRoll(pr *simulator.Proc, mesh topology.Torus2D, rankOf func(int) int, i, j int, myA, myB *matrix.Dense, tags cannonTags) *matrix.Dense {
+	s := mesh.R
+	me := mesh.RankAt(i, j)
+	aRows, aCols := myA.Rows, myA.Cols
+	bRows, bCols := myB.Rows, myB.Cols
+
+	// Skew: A_ij to (i, j−i), B_ij to (i−j, j).
+	pr.SendFree(rankOf(mesh.RankAt(i, j-i)), tags.alignA, blockData(myA))
+	pr.SendFree(rankOf(mesh.RankAt(i-j, j)), tags.alignB, blockData(myB))
+	aBuf := pr.Recv(rankOf(mesh.RankAt(i, j+i)), tags.alignA)
+	bBuf := pr.Recv(rankOf(mesh.RankAt(i+j, j)), tags.alignB)
+
+	c := matrix.New(aRows, bCols)
+	for step := 0; step < s; step++ {
+		matrix.MulAddInto(c, blockFrom(aBuf, aRows, aCols), blockFrom(bBuf, bRows, bCols))
+		pr.Compute(float64(aRows) * float64(aCols) * float64(bCols))
+		pr.SendNeighbor(rankOf(mesh.Left(me)), tags.shiftA, aBuf)
+		aBuf = pr.Recv(rankOf(mesh.Right(me)), tags.shiftA)
+		pr.SendNeighbor(rankOf(mesh.Up(me)), tags.shiftB, bBuf)
+		bBuf = pr.Recv(rankOf(mesh.Down(me)), tags.shiftB)
+	}
+	return c
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"matscale/internal/machine"
+	"matscale/internal/matrix"
+	"matscale/internal/simulator"
+)
+
+// The paper's performance model assumes contention-free communication.
+// That assumption is structural, not accidental: every algorithm it
+// analyzes routes its messages on pairwise link-disjoint paths within
+// each phase. Running with link-level contention tracking must
+// therefore change no measured time.
+func TestAlgorithmsAreContentionFree(t *testing.T) {
+	a := matrix.RandomInts(16, 16, 71)
+	b := matrix.RandomInts(16, 16, 72)
+	cases := []struct {
+		name string
+		alg  Algorithm
+		mk   func() *machine.Machine
+	}{
+		{"Cannon/hypercube", Cannon, func() *machine.Machine { return testHypercube(16) }},
+		{"Cannon/mesh", Cannon, func() *machine.Machine { return testMesh(16) }},
+		{"Simple", Simple, func() *machine.Machine { return testHypercube(16) }},
+		{"Fox", Fox, func() *machine.Machine { return testHypercube(16) }},
+		{"FoxMesh", FoxMesh, func() *machine.Machine { return testMesh(16) }},
+		{"FoxAsync", FoxAsync, func() *machine.Machine { return testMesh(16) }},
+		{"Berntsen", Berntsen, func() *machine.Machine { return testHypercube(64) }},
+		{"GK", GK, func() *machine.Machine { return testHypercube(64) }},
+		{"DNS", func(m *machine.Machine, a, b *matrix.Dense) (*Result, error) {
+			return DNSWithGrid(m, a, b, 4)
+		}, func() *machine.Machine { return testHypercube(32) }},
+	}
+	for _, c := range cases {
+		plain, err := c.alg(c.mk(), a, b)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		mTracked := c.mk()
+		mTracked.TrackContention = true
+		tracked, err := c.alg(mTracked, a, b)
+		if err != nil {
+			t.Fatalf("%s tracked: %v", c.name, err)
+		}
+		if tracked.Sim.Tp != plain.Sim.Tp {
+			t.Errorf("%s: contention tracking changed Tp %v -> %v", c.name, plain.Sim.Tp, tracked.Sim.Tp)
+		}
+		if tracked.Sim.ContentionWait != 0 {
+			t.Errorf("%s: nonzero contention wait %v — routes are not link-disjoint", c.name, tracked.Sim.ContentionWait)
+		}
+		if matrix.MaxAbsDiff(tracked.C, plain.C) != 0 {
+			t.Errorf("%s: tracking changed the product", c.name)
+		}
+	}
+}
+
+// Sanity: a program that genuinely collides on a link does incur
+// waiting time under tracking, so the zero-wait results above are
+// meaningful.
+func TestContentionDetectedWhenPresent(t *testing.T) {
+	m := machine.Hypercube(4, 10, 1)
+	m.TrackContention = true
+	// Rank 1 streams a large message over link 1->3 while rank 0's
+	// small message routes 0->1->3 and must queue behind it on the
+	// shared second hop (or vice versa, depending on claim order —
+	// either way someone waits).
+	res, err := simulator.Run(m, func(p *simulator.Proc) {
+		switch p.Rank() {
+		case 0:
+			p.Send(3, 0, []float64{1})
+		case 1:
+			p.Send(3, 1, make([]float64, 100))
+		case 3:
+			p.Recv(0, 0)
+			p.Recv(1, 1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ContentionWait <= 0 {
+		t.Fatalf("expected contention wait, got %v", res.ContentionWait)
+	}
+	// And the same program without tracking has none.
+	m2 := machine.Hypercube(4, 10, 1)
+	res2, err := simulator.Run(m2, func(p *simulator.Proc) {
+		switch p.Rank() {
+		case 0:
+			p.Send(3, 0, []float64{1})
+		case 1:
+			p.Send(3, 1, make([]float64, 100))
+		case 3:
+			p.Recv(0, 0)
+			p.Recv(1, 1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.ContentionWait != 0 {
+		t.Fatalf("untracked run reported contention %v", res2.ContentionWait)
+	}
+}

@@ -1,0 +1,410 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"matscale/internal/machine"
+	"matscale/internal/matrix"
+	"matscale/internal/model"
+)
+
+// runCase executes one algorithm on deterministic integer matrices and
+// checks the product against the serial algorithm bit-exactly (integer
+// entries make every summation order exact in float64).
+func runCase(t *testing.T, name string, alg Algorithm, m *machine.Machine, n int) *Result {
+	t.Helper()
+	a := matrix.RandomInts(n, n, 1000+uint64(n))
+	b := matrix.RandomInts(n, n, 2000+uint64(n))
+	res, err := alg(m, a, b)
+	if err != nil {
+		t.Fatalf("%s n=%d p=%d: %v", name, n, m.P(), err)
+	}
+	want := matrix.Mul(a, b)
+	if res.C == nil {
+		t.Fatalf("%s n=%d p=%d: no product assembled", name, n, m.P())
+	}
+	if d := matrix.MaxAbsDiff(res.C, want); d != 0 {
+		t.Fatalf("%s n=%d p=%d: product differs from serial by %v", name, n, m.P(), d)
+	}
+	if res.N != n || res.P != m.P() {
+		t.Fatalf("%s: result metadata %d/%d", name, res.N, res.P)
+	}
+	return res
+}
+
+func wantTp(t *testing.T, name string, res *Result, want float64) {
+	t.Helper()
+	if math.Abs(res.Sim.Tp-want) > 1e-9*math.Max(1, want) {
+		t.Fatalf("%s n=%d p=%d: Tp = %v, want %v (Δ=%g)", name, res.N, res.P, res.Sim.Tp, want, res.Sim.Tp-want)
+	}
+}
+
+var testParams = model.Params{Ts: 17, Tw: 3}
+
+func testHypercube(p int) *machine.Machine {
+	return machine.Hypercube(p, testParams.Ts, testParams.Tw)
+}
+
+func TestSimpleCorrectAndExact(t *testing.T) {
+	for _, c := range []struct{ n, p int }{{8, 1}, {8, 4}, {12, 4}, {8, 16}, {16, 16}, {16, 64}} {
+		res := runCase(t, "Simple", Simple, testHypercube(c.p), c.n)
+		wantTp(t, "Simple", res, model.ExactSimpleTp(testParams, c.n, c.p))
+	}
+}
+
+func TestCannonCorrectAndExact(t *testing.T) {
+	for _, c := range []struct{ n, p int }{{8, 1}, {8, 4}, {12, 4}, {6, 9}, {8, 16}, {16, 16}, {16, 64}} {
+		res := runCase(t, "Cannon", Cannon, testHypercube2(c.p), c.n)
+		if c.p == 9 || c.p == 1 {
+			continue // non-power-of-two meshes have no exact hypercube form
+		}
+		wantTp(t, "Cannon", res, model.ExactCannonTp(testParams, c.n, c.p))
+	}
+}
+
+// testHypercube2 returns a hypercube when p is a power of two and a
+// fully connected machine otherwise (Cannon runs on any square mesh).
+func testHypercube2(p int) *machine.Machine {
+	if p&(p-1) == 0 {
+		return testHypercube(p)
+	}
+	m := machine.CM5(p)
+	m.Ts, m.Tw = testParams.Ts, testParams.Tw
+	return m
+}
+
+func TestCannonExactOnNonPow2Mesh(t *testing.T) {
+	// On a fully connected machine every transfer is one hop, so Eq. (3)
+	// holds for any perfect square p.
+	m := testHypercube2(9)
+	res := runCase(t, "Cannon", Cannon, m, 6)
+	wantTp(t, "Cannon", res, model.ExactCannonTp(testParams, 6, 9))
+}
+
+func TestFoxCorrectAndExact(t *testing.T) {
+	for _, c := range []struct{ n, p int }{{8, 1}, {8, 4}, {12, 4}, {8, 16}, {16, 64}} {
+		res := runCase(t, "Fox", Fox, testHypercube(c.p), c.n)
+		wantTp(t, "Fox", res, model.ExactFoxTp(testParams, c.n, c.p))
+	}
+}
+
+func TestFoxPipelinedCorrectAndExact(t *testing.T) {
+	for _, c := range []struct{ n, p int }{{8, 1}, {8, 4}, {12, 4}, {8, 16}, {16, 64}} {
+		res := runCase(t, "FoxPipelined", FoxPipelined, testHypercube(c.p), c.n)
+		wantTp(t, "FoxPipelined", res, model.ExactFoxPipelinedTp(testParams, c.n, c.p))
+	}
+}
+
+func TestBerntsenCorrectAndExact(t *testing.T) {
+	for _, c := range []struct{ n, p int }{{8, 1}, {8, 8}, {16, 8}, {16, 64}, {32, 64}} {
+		res := runCase(t, "Berntsen", Berntsen, testHypercube(c.p), c.n)
+		wantTp(t, "Berntsen", res, model.ExactBerntsenTp(testParams, c.n, c.p))
+	}
+}
+
+func TestDNSCorrectAndExact(t *testing.T) {
+	for _, c := range []struct{ n, p, grid int }{
+		{4, 16, 4},   // r=1: degenerate, pure Cannon in one layer
+		{4, 32, 4},   // r=2, u=2
+		{4, 64, 4},   // r=4, u=1: the one-element-per-processor limit
+		{8, 128, 8},  // r=2, u=4
+		{8, 32, 4},   // blocks of 2x2, r=2, u=2
+		{12, 16, 4},  // blocks of 3x3, r=1
+		{16, 256, 8}, // blocks of 2x2, r=4, u=2
+	} {
+		alg := func(m *machine.Machine, a, b *matrix.Dense) (*Result, error) {
+			return DNSWithGrid(m, a, b, c.grid)
+		}
+		res := runCase(t, "DNS", alg, testHypercube(c.p), c.n)
+		wantTp(t, "DNS", res, model.ExactDNSTp(testParams, c.n, c.p, c.grid))
+	}
+}
+
+func TestDNSElementEntryPoint(t *testing.T) {
+	// DNS(m, a, b) uses gridSide = n (one block element per processor).
+	res := runCase(t, "DNS", DNS, testHypercube(64), 4)
+	wantTp(t, "DNS", res, model.ExactDNSTp(testParams, 4, 64, 4))
+	if _, err := DNS(testHypercube(8), matrix.RandomInts(4, 4, 1), matrix.RandomInts(4, 4, 2)); err == nil || !strings.Contains(err.Error(), "p ≥ n²") {
+		t.Fatalf("DNS below applicability: err = %v", err)
+	}
+}
+
+func TestGKCorrectAndExactEq7(t *testing.T) {
+	for _, c := range []struct{ n, p int }{{8, 1}, {8, 8}, {12, 8}, {8, 64}, {16, 64}, {16, 512}} {
+		res := runCase(t, "GK", GK, testHypercube(c.p), c.n)
+		wantTp(t, "GK", res, model.ExactGKTp(testParams, c.n, c.p))
+		// Eq. (7) as printed agrees with the exact form on a hypercube.
+		paper := model.PaperGKTp(testParams, float64(c.n), float64(c.p))
+		if math.Abs(res.Sim.Tp-paper) > 1e-9*math.Max(1, paper) {
+			t.Fatalf("GK n=%d p=%d: Tp = %v, Eq.(7) = %v", c.n, c.p, res.Sim.Tp, paper)
+		}
+	}
+}
+
+func TestGKOnCM5MatchesEq18(t *testing.T) {
+	for _, c := range []struct{ n, p int }{{8, 8}, {16, 64}, {16, 512}} {
+		m := machine.CM5(c.p)
+		m.Ts, m.Tw = testParams.Ts, testParams.Tw
+		res := runCase(t, "GK/CM5", GK, m, c.n)
+		wantTp(t, "GK/CM5", res, model.ExactGKCM5Tp(testParams, c.n, c.p))
+		paper := model.PaperGKCM5Tp(testParams, float64(c.n), float64(c.p))
+		if math.Abs(res.Sim.Tp-paper) > 1e-9*math.Max(1, paper) {
+			t.Fatalf("GK/CM5 n=%d p=%d: Tp = %v, Eq.(18) = %v", c.n, c.p, res.Sim.Tp, paper)
+		}
+	}
+}
+
+func TestGKImprovedCorrectAndExact(t *testing.T) {
+	for _, c := range []struct{ n, p int }{{8, 8}, {16, 64}, {16, 512}} {
+		res := runCase(t, "GKImproved", GKImprovedBroadcast, testHypercube(c.p), c.n)
+		wantTp(t, "GKImproved", res, model.ExactGKImprovedTp(testParams, c.n, c.p))
+	}
+	// For deep trees and large messages the Johnsson–Ho broadcast must
+	// beat the naive binomial tree (for small messages it legitimately
+	// loses — the granularity limit Section 5.4.1 discusses).
+	for _, c := range []struct{ n, p int }{{64, 512}, {256, 512}} {
+		naive := model.ExactGKTp(testParams, c.n, c.p)
+		improved := model.ExactGKImprovedTp(testParams, c.n, c.p)
+		if improved > naive {
+			t.Fatalf("n=%d p=%d: improved GK %v slower than naive %v", c.n, c.p, improved, naive)
+		}
+	}
+}
+
+func TestGKAllPortCorrectAndExactEq17(t *testing.T) {
+	for _, c := range []struct{ n, p int }{{8, 8}, {16, 64}} {
+		m := testHypercube(c.p)
+		m.AllPort = true
+		res := runCase(t, "GKAllPort", GKAllPort, m, c.n)
+		wantTp(t, "GKAllPort", res, model.ExactGKAllPortTp(testParams, c.n, c.p))
+	}
+}
+
+func TestSimpleAllPortCorrectAndExactEq16(t *testing.T) {
+	for _, c := range []struct{ n, p int }{{8, 4}, {16, 16}, {16, 64}} {
+		m := testHypercube(c.p)
+		m.AllPort = true
+		res := runCase(t, "SimpleAllPort", SimpleAllPort, m, c.n)
+		wantTp(t, "SimpleAllPort", res, model.ExactSimpleAllPortTp(testParams, c.n, c.p))
+		paper := model.PaperSimpleAllPortTp(testParams, float64(c.n), float64(c.p))
+		if math.Abs(res.Sim.Tp-paper) > 1e-9*math.Max(1, paper) {
+			t.Fatalf("SimpleAllPort n=%d p=%d: Tp = %v, Eq.(16) = %v", c.n, c.p, res.Sim.Tp, paper)
+		}
+	}
+}
+
+func TestResultMetrics(t *testing.T) {
+	res := runCase(t, "Cannon", Cannon, testHypercube(4), 8)
+	w := float64(8 * 8 * 8)
+	if res.W() != w {
+		t.Fatalf("W = %v", res.W())
+	}
+	if e := res.Efficiency(); e <= 0 || e >= 1 {
+		t.Fatalf("Efficiency = %v", e)
+	}
+	if s := res.Speedup(); math.Abs(s-4*res.Efficiency()) > 1e-12 {
+		t.Fatalf("Speedup %v inconsistent with efficiency %v", s, res.Efficiency())
+	}
+	if to := res.Overhead(); math.Abs(to-(4*res.Sim.Tp-w)) > 1e-9 {
+		t.Fatalf("Overhead = %v", to)
+	}
+}
+
+func TestConfigurationErrors(t *testing.T) {
+	a8 := matrix.RandomInts(8, 8, 1)
+	b8 := matrix.RandomInts(8, 8, 2)
+	cases := []struct {
+		name string
+		run  func() error
+		want string
+	}{
+		{"rectangular", func() error {
+			_, err := Cannon(testHypercube(4), matrix.New(4, 5), matrix.New(5, 4))
+			return err
+		}, "square"},
+		{"mismatched", func() error {
+			_, err := Cannon(testHypercube(4), matrix.New(4, 4), matrix.New(8, 8))
+			return err
+		}, "square"},
+		{"nonsquare p", func() error {
+			_, err := Cannon(testHypercube(8), a8, b8)
+			return err
+		}, "perfect square"},
+		{"indivisible mesh", func() error {
+			_, err := Cannon(testHypercube(16), matrix.New(6, 6), matrix.New(6, 6))
+			return err
+		}, "does not divide"},
+		{"noncube p", func() error {
+			_, err := GK(testHypercube(16), a8, b8)
+			return err
+		}, "perfect cube"},
+		{"cube side indivisible", func() error {
+			_, err := GK(testHypercube(512), matrix.New(12, 12), matrix.New(12, 12))
+			return err
+		}, "does not divide"},
+		{"berntsen divisibility", func() error {
+			_, err := Berntsen(testHypercube(8), matrix.New(10, 10), matrix.New(10, 10))
+			return err
+		}, "divide"},
+		{"berntsen concurrency", func() error {
+			_, err := Berntsen(testHypercube(512), matrix.New(16, 16), matrix.New(16, 16))
+			return err
+		}, "n^(3/2)"},
+		{"dns bad grid", func() error {
+			_, err := DNSWithGrid(testHypercube(16), a8, b8, 3)
+			return err
+		}, "divide"},
+		{"dns bad r", func() error {
+			_, err := DNSWithGrid(machine.CM5(48), a8, b8, 4)
+			return err
+		}, "power of two"},
+		{"dns r exceeds grid", func() error {
+			_, err := DNSWithGrid(testHypercube(128), a8, b8, 4)
+			return err
+		}, "divide"},
+		{"fox non-pow2 mesh", func() error {
+			m := testHypercube2(9)
+			_, err := Fox(m, matrix.New(6, 6), matrix.New(6, 6))
+			return err
+		}, "power-of-two"},
+	}
+	for _, c := range cases {
+		err := c.run()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+// All algorithms must agree with each other on the same inputs.
+func TestCrossAlgorithmAgreement(t *testing.T) {
+	n := 16
+	a := matrix.RandomInts(n, n, 7)
+	b := matrix.RandomInts(n, n, 8)
+	want := matrix.Mul(a, b)
+	algs := []struct {
+		name string
+		alg  Algorithm
+		p    int
+	}{
+		{"Simple", Simple, 16},
+		{"Cannon", Cannon, 16},
+		{"Fox", Fox, 16},
+		{"FoxPipelined", FoxPipelined, 16},
+		{"Berntsen", Berntsen, 64},
+		{"GK", GK, 64},
+		{"GKImproved", GKImprovedBroadcast, 64},
+	}
+	for _, c := range algs {
+		res, err := c.alg(testHypercube(c.p), a, b)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if d := matrix.MaxAbsDiff(res.C, want); d != 0 {
+			t.Errorf("%s: differs from serial by %v", c.name, d)
+		}
+	}
+}
+
+// GK beats Cannon for small n at fixed p and loses for large n — the
+// paper's central experimental claim (Section 9), checked in simulation
+// with CM-5 parameters.
+func TestGKCannonCrossoverDirection(t *testing.T) {
+	p := 64
+	mCannon := machine.CM5(p)
+	mGK := machine.CM5(p)
+	small, big := 16, 192
+
+	gkS := runCase(t, "GK", GK, mGK, small)
+	caS := runCase(t, "Cannon", Cannon, mCannon, small)
+	if gkS.Sim.Tp >= caS.Sim.Tp {
+		t.Errorf("n=%d: GK (%v) should beat Cannon (%v)", small, gkS.Sim.Tp, caS.Sim.Tp)
+	}
+
+	gkB := runCase(t, "GK", GK, mGK, big)
+	caB := runCase(t, "Cannon", Cannon, mCannon, big)
+	if caB.Sim.Tp >= gkB.Sim.Tp {
+		t.Errorf("n=%d: Cannon (%v) should beat GK (%v)", big, caB.Sim.Tp, gkB.Sim.Tp)
+	}
+}
+
+// Section 4.5.1's one-element-per-processor DNS limit: with p = n³
+// processors the multiplication completes in O(log n) time — here
+// exactly 1 + 5·log₂n·(ts + tw).
+func TestDNSOneElementPerProcessorLogTime(t *testing.T) {
+	n, p := 8, 512
+	res := runCase(t, "DNS/1elem", DNS, testHypercube(p), n)
+	want := 1 + 5*3*(testParams.Ts+testParams.Tw) // log₂8 = 3, unit block
+	if math.Abs(res.Sim.Tp-want) > 1e-9 {
+		t.Fatalf("Tp = %v, want %v = O(log n)", res.Sim.Tp, want)
+	}
+	// Processor-time product far exceeds W — the processor-inefficiency
+	// the paper notes for this extreme.
+	if pt := float64(p) * res.Sim.Tp; pt < 10*res.W() {
+		t.Fatalf("processor-time product %v should dwarf W %v", pt, res.W())
+	}
+}
+
+func TestSimpleMemEfficientAllPortCorrectAndExact(t *testing.T) {
+	for _, c := range []struct{ n, p int }{{8, 4}, {16, 16}, {16, 64}} {
+		m := testHypercube(c.p)
+		m.AllPort = true
+		res := runCase(t, "SimpleMemEff", SimpleMemEfficientAllPort, m, c.n)
+		wantTp(t, "SimpleMemEff", res, model.ExactSimpleMemEffAllPortTp(testParams, c.n, c.p))
+	}
+}
+
+// Section 7.1: the memory-efficient variant of [18] "has somewhat
+// higher execution time" than the memory-hungry Eq. (16) version —
+// that is the price of constant storage.
+func TestMemEfficientVariantCostsMoreTime(t *testing.T) {
+	for _, c := range []struct{ n, p int }{{32, 16}, {64, 64}} {
+		eq16 := model.ExactSimpleAllPortTp(testParams, c.n, c.p)
+		memEff := model.ExactSimpleMemEffAllPortTp(testParams, c.n, c.p)
+		if memEff <= eq16 {
+			t.Errorf("n=%d p=%d: mem-efficient Tp %v not above Eq.(16)'s %v", c.n, c.p, memEff, eq16)
+		}
+	}
+}
+
+func TestMemEfficientAllPortRejectsNonPow2Mesh(t *testing.T) {
+	m := machine.CM5(36) // q = 6, not a power of two
+	m.AllPort = true
+	_, err := SimpleMemEfficientAllPort(m, matrix.New(12, 12), matrix.New(12, 12))
+	if err == nil || !strings.Contains(err.Error(), "power-of-two") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestGKTraced(t *testing.T) {
+	a := matrix.RandomInts(8, 8, 1)
+	b := matrix.RandomInts(8, 8, 2)
+	res, tr, err := GKTraced(testHypercube(8), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := matrix.MaxAbsDiff(res.C, matrix.Mul(a, b)); d != 0 {
+		t.Fatalf("traced GK product differs by %v", d)
+	}
+	wantTp(t, "GKTraced", res, model.ExactGKTp(testParams, 8, 8))
+	if tr == nil || len(tr.Events) == 0 {
+		t.Fatal("no trace events")
+	}
+	// Every processor computes exactly once in the naive GK run.
+	for r := 0; r < 8; r++ {
+		computes := 0
+		for _, e := range tr.PerRank(r) {
+			if e.Kind == 0 { // EventCompute
+				computes++
+			}
+		}
+		if computes != 1 {
+			t.Fatalf("rank %d has %d compute events, want 1", r, computes)
+		}
+	}
+	if _, _, err := GKTraced(testHypercube(16), a, b); err == nil {
+		t.Fatal("non-cube p accepted")
+	}
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+
+	"matscale/internal/collective"
+	"matscale/internal/machine"
+	"matscale/internal/matrix"
+	"matscale/internal/simulator"
+	"matscale/internal/topology"
+)
+
+const (
+	tagDNSRouteA  = 700
+	tagDNSBcastA  = 710
+	tagDNSRouteB  = 730
+	tagDNSBcastB  = 740
+	tagDNSAlignA  = 760
+	tagDNSAlignB  = 761
+	tagDNSShiftA  = 762
+	tagDNSShiftB  = 763
+	tagDNSReduce  = 770
+	tagDNSBarrier = 780
+)
+
+// DNS implements the Dekel–Nassimi–Sahni algorithm in the
+// more-than-one-element-per-processor form of Section 4.5.2: with
+// p = n²·r processors (n² ≤ p ≤ n³), the processors form r³ logical
+// superprocessors of (n/r)² processors each; matrix elements are
+// placed as in the one-element-per-processor algorithm of Section
+// 4.5.1 with superprocessors in place of processors, and the
+// element-by-element products become (n/r)×(n/r) block products
+// computed with Cannon's algorithm inside each superprocessor.
+//
+// Measured parallel time is exactly the paper's Eq. (6):
+//
+//	Tp = n³/p + (ts + tw)·(5·log₂(p/n²) + 2·n³/p)
+//
+// (n³/p = n/r is both the per-processor work and the Cannon step count
+// inside a superprocessor).
+func DNS(m *machine.Machine, a, b *matrix.Dense) (*Result, error) {
+	n, err := checkInputs(m, a, b)
+	if err != nil {
+		return nil, err
+	}
+	if m.P() < n*n {
+		return nil, fmt.Errorf("core: DNS requires p ≥ n², got p=%d n=%d (use DNSWithGrid for block operation)", m.P(), n)
+	}
+	return DNSWithGrid(m, a, b, n)
+}
+
+// DNSWithGrid runs the DNS algorithm treating the matrices as a
+// gridSide × gridSide arrangement of square blocks (gridSide = n gives
+// the paper's element-level algorithm; smaller grids let the same
+// communication structure run with p < n² processors, each block
+// product then being a real sub-matrix multiplication). Requirements:
+// p = gridSide²·r with r a power of two, r | gridSide, and
+// gridSide | n.
+func DNSWithGrid(m *machine.Machine, a, b *matrix.Dense, gridSide int) (*Result, error) {
+	n, err := checkInputs(m, a, b)
+	if err != nil {
+		return nil, err
+	}
+	p := m.P()
+	if gridSide <= 0 || n%gridSide != 0 {
+		return nil, fmt.Errorf("core: DNS grid side %d must divide n = %d", gridSide, n)
+	}
+	if p%(gridSide*gridSide) != 0 {
+		return nil, fmt.Errorf("core: DNS needs p = gridSide²·r, got p=%d gridSide=%d", p, gridSide)
+	}
+	r := p / (gridSide * gridSide)
+	if _, ok := topology.Log2(r); !ok {
+		return nil, fmt.Errorf("core: DNS replication factor r=%d is not a power of two", r)
+	}
+	if gridSide%r != 0 {
+		return nil, fmt.Errorf("core: DNS needs r=%d to divide gridSide=%d", r, gridSide)
+	}
+	u := gridSide / r // superprocessor mesh side
+	if _, ok := topology.Log2(u); !ok {
+		return nil, fmt.Errorf("core: DNS superprocessor side %d is not a power of two", u)
+	}
+	bs := n / gridSide
+	ga := matrix.Partition(a, gridSide, gridSide)
+	gb := matrix.Partition(b, gridSide, gridSide)
+	superMesh := topology.NewTorus2D(u, u)
+	everyone := allRanks(p)
+
+	// rank = I·gridSide² + jg·gridSide + kg, with I the superprocessor
+	// layer and (jg, kg) the global block coordinates.
+	rankOf := func(i, jg, kg int) int { return i*gridSide*gridSide + jg*gridSide + kg }
+
+	var product *matrix.Dense
+	sim, err := simulator.Run(m, func(pr *simulator.Proc) {
+		rk := pr.Rank()
+		layer := rk / (gridSide * gridSide)
+		jg := (rk / gridSide) % gridSide
+		kg := rk % gridSide
+		supJ, supK := jg/u, kg/u // superprocessor coordinates
+		lj, lk := jg%u, kg%u     // position inside the superprocessor
+		barrier := 0
+		sync := func() {
+			collective.BarrierFree(pr, everyone, tagDNSBarrier+barrier)
+			barrier++
+		}
+
+		// Stage 1a: route A towards layer = supK.
+		var aBuf []float64
+		if layer == 0 {
+			pr.Send(rankOf(supK, jg, kg), tagDNSRouteA, blockData(ga.Block(jg, kg)))
+		}
+		if layer == supK {
+			aBuf = pr.Recv(rankOf(0, jg, kg), tagDNSRouteA)
+		}
+		sync()
+
+		// Stage 1b: broadcast A across the r superprocessor columns
+		// holding the same local position.
+		groupA := make([]int, r)
+		for l := 0; l < r; l++ {
+			groupA[l] = rankOf(layer, jg, l*u+lk)
+		}
+		aBuf = collective.Broadcast(pr, groupA, layer, tagDNSBcastA, aBuf)
+		sync()
+
+		// Stage 1c: route B towards layer = supJ.
+		var bBuf []float64
+		if layer == 0 {
+			pr.Send(rankOf(supJ, jg, kg), tagDNSRouteB, blockData(gb.Block(jg, kg)))
+		}
+		if layer == supJ {
+			bBuf = pr.Recv(rankOf(0, jg, kg), tagDNSRouteB)
+		}
+		sync()
+
+		// Stage 1d: broadcast B across the r superprocessor rows.
+		groupB := make([]int, r)
+		for l := 0; l < r; l++ {
+			groupB[l] = rankOf(layer, l*u+lj, kg)
+		}
+		bBuf = collective.Broadcast(pr, groupB, layer, tagDNSBcastB, bBuf)
+		sync()
+
+		// Stage 2: Cannon's algorithm inside the superprocessor
+		// computes the superblock product A_sup(supJ, layer)·
+		// B_sup(layer, supK).
+		localRank := func(mr int) int {
+			li, ljj := superMesh.Coords(mr)
+			return rankOf(layer, supJ*u+li, supK*u+ljj)
+		}
+		tags := cannonTags{alignA: tagDNSAlignA, alignB: tagDNSAlignB, shiftA: tagDNSShiftA, shiftB: tagDNSShiftB}
+		c := cannonRoll(pr, superMesh, localRank, lj, lk, blockFrom(aBuf, bs, bs), blockFrom(bBuf, bs, bs), tags)
+		sync()
+
+		// Stage 3: sum the r partial products across layers into layer 0.
+		groupR := make([]int, r)
+		for l := 0; l < r; l++ {
+			groupR[l] = rankOf(l, jg, kg)
+		}
+		sum := collective.Reduce(pr, groupR, 0, tagDNSReduce, blockData(c))
+
+		// Verification gather from layer 0.
+		holders := make([]int, gridSide*gridSide)
+		for x := 0; x < gridSide; x++ {
+			for y := 0; y < gridSide; y++ {
+				holders[x*gridSide+y] = rankOf(0, x, y)
+			}
+		}
+		if layer == 0 {
+			gatherGrid(pr, holders, gridSide, gridSide, tagGatherC, blockFrom(sum, bs, bs), &product)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{C: product, Sim: sim, N: n, P: p}, nil
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+
+	"matscale/internal/collective"
+	"matscale/internal/machine"
+	"matscale/internal/matrix"
+	"matscale/internal/simulator"
+	"matscale/internal/topology"
+)
+
+const (
+	tagFoxBcast   = 400
+	tagFoxShift   = 450
+	tagFoxBarrier = 460
+)
+
+// Fox implements Fox's algorithm (Section 4.3) on a √p × √p mesh. The
+// algorithm runs in √p iterations; in iteration t, processor
+// (i, (i+t) mod √p) broadcasts its A block along mesh row i, every
+// processor multiplies the received block with its resident B block,
+// and B rolls one step north.
+//
+// This variant performs the row broadcast as a binomial tree on the
+// hypercube (the "more sophisticated scheme" mentioned in Section 4.3).
+// With lockstep iterations its measured time is exactly
+//
+//	Tp = n³/p + √p·(ts + tw·n²/p)·(log₂√p + 1)
+//
+// which is worse than Cannon's algorithm by the log factor, as the
+// paper observes.
+func Fox(m *machine.Machine, a, b *matrix.Dense) (*Result, error) {
+	return foxImpl(m, a, b, false)
+}
+
+// FoxPipelined is the pipelined variant whose run time the paper cites
+// as Eq. (4): the root sends its block along the row in small packets,
+// overlapping transmission across the row. The broadcast is charged
+// the pipeline cost ts·√p + tw·n²/p per iteration, giving exactly
+//
+//	Tp = n³/p + ts·(p + √p) + 2·tw·n²/√p
+//
+// (Eq. (4) drops the lower-order ts·√p contributed by the shifts.)
+func FoxPipelined(m *machine.Machine, a, b *matrix.Dense) (*Result, error) {
+	return foxImpl(m, a, b, true)
+}
+
+func foxImpl(m *machine.Machine, a, b *matrix.Dense, pipelined bool) (*Result, error) {
+	n, err := checkInputs(m, a, b)
+	if err != nil {
+		return nil, err
+	}
+	p := m.P()
+	q, err := squareMeshSide(n, p)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := topology.Log2(q); !ok {
+		return nil, fmt.Errorf("core: Fox needs a power-of-two mesh side, got %d", q)
+	}
+	bs := n / q
+	mesh := topology.NewTorus2D(q, q)
+	ga := matrix.Partition(a, q, q)
+	gb := matrix.Partition(b, q, q)
+	everyone := allRanks(p)
+
+	var product *matrix.Dense
+	sim, err := simulator.Run(m, func(pr *simulator.Proc) {
+		i, j := mesh.Coords(pr.Rank())
+		row := mesh.RowRanks(i)
+		myA := blockData(ga.Block(i, j))
+		myB := blockData(gb.Block(i, j))
+
+		c := matrix.New(bs, bs)
+		for t := 0; t < q; t++ {
+			rootCol := (i + t) % q
+			var payload []float64
+			if j == rootCol {
+				payload = myA
+			}
+			var ablk []float64
+			if pipelined {
+				// Pipeline fill plus transmission: ts·√p + tw·n²/p.
+				cost := m.Ts*float64(q) + m.Tw*float64(len(myA))
+				ablk = collective.BroadcastCharged(pr, row, rootCol, tagFoxBcast+t, payload, cost)
+			} else {
+				ablk = collective.Broadcast(pr, row, rootCol, tagFoxBcast+t, payload)
+			}
+			matrix.MulAddInto(c, blockFrom(ablk, bs, bs), blockFrom(myB, bs, bs))
+			pr.Compute(float64(bs) * float64(bs) * float64(bs))
+
+			// Roll B one step north.
+			pr.SendNeighbor(mesh.Up(pr.Rank()), tagFoxShift, myB)
+			myB = pr.Recv(mesh.Down(pr.Rank()), tagFoxShift)
+
+			// The paper's accounting treats iterations as lockstep.
+			collective.BarrierFree(pr, everyone, tagFoxBarrier)
+		}
+
+		gatherGrid(pr, everyone, q, q, tagGatherC, c, &product)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{C: product, Sim: sim, N: n, P: p}, nil
+}

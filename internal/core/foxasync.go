@@ -1,0 +1,80 @@
+package core
+
+import (
+	"matscale/internal/machine"
+	"matscale/internal/matrix"
+	"matscale/internal/simulator"
+	"matscale/internal/topology"
+)
+
+const (
+	tagFoxAsyncRelay = 440
+	tagFoxAsyncShift = 445
+)
+
+// FoxAsync is the asynchronous execution of Fox's algorithm that
+// Section 4.3 describes: "in every iteration, a processor starts
+// performing its computation as soon as it has all the required data,
+// and does not wait for the entire broadcast to finish." Each
+// processor forwards the relayed A block onward *before* multiplying,
+// and no barrier separates the iterations, so the row relay pipelines
+// across iterations and computation overlaps the broadcast chain
+// downstream.
+//
+// The paper claims this brings Fox's algorithm "to almost a factor of
+// two of Cannon's algorithm"; the tests verify that the measured time
+// lands between Cannon's and twice Cannon's for compute-dominated
+// configurations, far below the synchronized mesh relay.
+func FoxAsync(m *machine.Machine, a, b *matrix.Dense) (*Result, error) {
+	n, err := checkInputs(m, a, b)
+	if err != nil {
+		return nil, err
+	}
+	p := m.P()
+	q, err := squareMeshSide(n, p)
+	if err != nil {
+		return nil, err
+	}
+	bs := n / q
+	mesh := topology.NewTorus2D(q, q)
+	ga := matrix.Partition(a, q, q)
+	gb := matrix.Partition(b, q, q)
+	everyone := allRanks(p)
+
+	var product *matrix.Dense
+	sim, err := simulator.Run(m, func(pr *simulator.Proc) {
+		i, j := mesh.Coords(pr.Rank())
+		myA := blockData(ga.Block(i, j))
+		myB := blockData(gb.Block(i, j))
+
+		c := matrix.New(bs, bs)
+		for t := 0; t < q; t++ {
+			rootCol := (i + t) % q
+			ablk := myA
+			if q > 1 {
+				// Forward first, multiply second: the relay races ahead
+				// of the computation wave.
+				if j != rootCol {
+					ablk = pr.Recv(mesh.RankAt(i, j-1), tagFoxAsyncRelay+t)
+				}
+				if (j+1)%q != rootCol {
+					pr.SendNeighbor(mesh.RankAt(i, j+1), tagFoxAsyncRelay+t, ablk)
+				}
+			}
+			matrix.MulAddInto(c, blockFrom(ablk, bs, bs), blockFrom(myB, bs, bs))
+			pr.Compute(float64(bs) * float64(bs) * float64(bs))
+
+			if q > 1 {
+				pr.SendNeighbor(mesh.Up(pr.Rank()), tagFoxAsyncShift, myB)
+				myB = pr.Recv(mesh.Down(pr.Rank()), tagFoxAsyncShift)
+			}
+			// No barrier: iterations overlap across processors.
+		}
+
+		gatherGrid(pr, everyone, q, q, tagGatherC, c, &product)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{C: product, Sim: sim, N: n, P: p}, nil
+}

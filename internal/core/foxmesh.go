@@ -1,0 +1,146 @@
+package core
+
+import (
+	"matscale/internal/collective"
+	"matscale/internal/machine"
+	"matscale/internal/matrix"
+	"matscale/internal/simulator"
+	"matscale/internal/topology"
+)
+
+const (
+	tagFoxMeshRelay   = 470
+	tagFoxMeshShift   = 480
+	tagFoxMeshBarrier = 490
+	tagFoxPktBase     = 4000
+	tagFoxPktShift    = 3900
+	tagFoxPktBarrier  = 3950
+)
+
+// FoxMesh is Fox's algorithm on a wraparound mesh without any
+// broadcast hardware assist (the first variant Section 4.3 analyzes):
+// in each of the √p iterations the root's A block is relayed processor
+// to processor along the mesh row — √p−1 store-and-forward hops — and
+// B rolls one step north. With lockstep iterations the measured time
+// is exactly the expression the paper derives for the mesh,
+//
+//	Tp = n³/p + tw·n² + ts·p
+//
+// (per iteration: (√p−1)·(ts + tw·n²/p) for the relay plus one shift,
+// i.e. √p·(ts + tw·n²/p), times √p iterations).
+func FoxMesh(m *machine.Machine, a, b *matrix.Dense) (*Result, error) {
+	n, err := checkInputs(m, a, b)
+	if err != nil {
+		return nil, err
+	}
+	p := m.P()
+	q, err := squareMeshSide(n, p)
+	if err != nil {
+		return nil, err
+	}
+	bs := n / q
+	mesh := topology.NewTorus2D(q, q)
+	ga := matrix.Partition(a, q, q)
+	gb := matrix.Partition(b, q, q)
+	everyone := allRanks(p)
+
+	var product *matrix.Dense
+	sim, err := simulator.Run(m, func(pr *simulator.Proc) {
+		i, j := mesh.Coords(pr.Rank())
+		myA := blockData(ga.Block(i, j))
+		myB := blockData(gb.Block(i, j))
+
+		c := matrix.New(bs, bs)
+		for t := 0; t < q; t++ {
+			rootCol := (i + t) % q
+			// Relay the root's A block around the row: the block
+			// travels rootCol → rootCol+1 → ... → rootCol+q−1 (mod q).
+			ablk := myA
+			if q > 1 {
+				if j != rootCol {
+					ablk = pr.Recv(mesh.RankAt(i, j-1), tagFoxMeshRelay+t)
+				}
+				if (j+1)%q != rootCol {
+					pr.SendNeighbor(mesh.RankAt(i, j+1), tagFoxMeshRelay+t, ablk)
+				}
+			}
+			matrix.MulAddInto(c, blockFrom(ablk, bs, bs), blockFrom(myB, bs, bs))
+			pr.Compute(float64(bs) * float64(bs) * float64(bs))
+
+			if q > 1 {
+				pr.SendNeighbor(mesh.Up(pr.Rank()), tagFoxMeshShift, myB)
+				myB = pr.Recv(mesh.Down(pr.Rank()), tagFoxMeshShift)
+			}
+			collective.BarrierFree(pr, everyone, tagFoxMeshBarrier)
+		}
+
+		gatherGrid(pr, everyone, q, q, tagGatherC, c, &product)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{C: product, Sim: sim, N: n, P: p}, nil
+}
+
+// FoxPacketPipelined is Fox's pipelined variant realized with genuine
+// packet pipelining (no closed-form charging): in each iteration the
+// root streams its A block along the mesh row in optimally sized
+// packets (collective.BroadcastPipelinedChain), each relay forwarding
+// every packet on receipt — the mechanism behind Eq. (4)'s bound. B
+// rolls north as usual. Its measured time sits between Cannon's and
+// the synchronized relay's, tracking the charged FoxPipelined model.
+func FoxPacketPipelined(m *machine.Machine, a, b *matrix.Dense) (*Result, error) {
+	n, err := checkInputs(m, a, b)
+	if err != nil {
+		return nil, err
+	}
+	p := m.P()
+	q, err := squareMeshSide(n, p)
+	if err != nil {
+		return nil, err
+	}
+	bs := n / q
+	mesh := topology.NewTorus2D(q, q)
+	ga := matrix.Partition(a, q, q)
+	gb := matrix.Partition(b, q, q)
+	everyone := allRanks(p)
+	packets := collective.OptimalPackets(m.Ts, m.Tw, bs*bs, q)
+
+	var product *matrix.Dense
+	sim, err := simulator.Run(m, func(pr *simulator.Proc) {
+		i, j := mesh.Coords(pr.Rank())
+		myA := blockData(ga.Block(i, j))
+		myB := blockData(gb.Block(i, j))
+
+		c := matrix.New(bs, bs)
+		for t := 0; t < q; t++ {
+			rootCol := (i + t) % q
+			ablk := myA
+			if q > 1 {
+				// The chain runs rootCol, rootCol+1, ..., around the row.
+				chain := make([]int, q)
+				for x := 0; x < q; x++ {
+					chain[x] = mesh.RankAt(i, rootCol+x)
+				}
+				var payload []float64
+				if j == rootCol {
+					payload = myA
+				}
+				ablk = collective.BroadcastPipelinedChain(pr, chain, tagFoxPktBase+t*64, payload, packets)
+			}
+			matrix.MulAddInto(c, blockFrom(ablk, bs, bs), blockFrom(myB, bs, bs))
+			pr.Compute(float64(bs) * float64(bs) * float64(bs))
+			if q > 1 {
+				pr.SendNeighbor(mesh.Up(pr.Rank()), tagFoxPktShift, myB)
+				myB = pr.Recv(mesh.Down(pr.Rank()), tagFoxPktShift)
+			}
+			collective.BarrierFree(pr, everyone, tagFoxPktBarrier+t)
+		}
+
+		gatherGrid(pr, everyone, q, q, tagGatherC, c, &product)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{C: product, Sim: sim, N: n, P: p}, nil
+}

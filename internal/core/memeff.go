@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+
+	"matscale/internal/collective"
+	"matscale/internal/machine"
+	"matscale/internal/matrix"
+	"matscale/internal/simulator"
+	"matscale/internal/topology"
+)
+
+const (
+	tagMemEffBcastA  = 800
+	tagMemEffBcastB  = 850
+	tagMemEffBarrier = 880
+)
+
+// SimpleMemEfficientAllPort is the memory-efficient counterpart of the
+// all-port simple algorithm, in the spirit of Ho, Johnsson and Edelman
+// [18], which Section 7.1 cites as using full bandwidth with constant
+// storage at "somewhat higher execution time" than Eq. (16). Instead
+// of gathering a whole block row and block column on every processor
+// (O(n²/√p) memory each), the multiplication streams: in step k of √p,
+// the owners of A_ik and B_kj broadcast them along mesh row i and mesh
+// column j, every processor multiplies and accumulates, and the blocks
+// are discarded — O(n²/p) storage, like Cannon's algorithm.
+//
+// Each step's pair of one-to-all broadcasts proceeds simultaneously on
+// the all-port hardware, charged the all-port one-to-all cost
+// ts·log₂√p + tw·(n²/p)/log₂√p (the message splits across the log √p
+// ports). Measured time with lockstep steps:
+//
+//	Tp = n³/p + √p·(ts·log₂√p + tw·(n²/p)/log₂√p)
+//
+// which is higher than Eq. (16) — the memory saving costs a log factor
+// of bandwidth, exactly the "somewhat higher execution time" trade the
+// paper describes.
+func SimpleMemEfficientAllPort(m *machine.Machine, a, b *matrix.Dense) (*Result, error) {
+	n, err := checkInputs(m, a, b)
+	if err != nil {
+		return nil, err
+	}
+	p := m.P()
+	q, err := squareMeshSide(n, p)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := topology.Log2(q); !ok {
+		return nil, errNonPow2Mesh(q)
+	}
+	bs := n / q
+	mesh := topology.NewTorus2D(q, q)
+	ga := matrix.Partition(a, q, q)
+	gb := matrix.Partition(b, q, q)
+	everyone := allRanks(p)
+	cost := allPortBcastCost(m, bs*bs, q)
+
+	var product *matrix.Dense
+	sim, err := simulator.Run(m, func(pr *simulator.Proc) {
+		i, j := mesh.Coords(pr.Rank())
+		row := mesh.RowRanks(i)
+		col := mesh.ColRanks(j)
+		myA := blockData(ga.Block(i, j))
+		myB := blockData(gb.Block(i, j))
+
+		c := matrix.New(bs, bs)
+		for k := 0; k < q; k++ {
+			var aPayload, bPayload []float64
+			if j == k {
+				aPayload = myA
+			}
+			if i == k {
+				bPayload = myB
+			}
+			// A's broadcast is charged; B's proceeds simultaneously on
+			// the remaining ports (Section 7.1's simultaneity).
+			ablk := collective.BroadcastCharged(pr, row, k, tagMemEffBcastA+k, aPayload, cost)
+			bblk := collective.BroadcastCharged(pr, col, k, tagMemEffBcastB+k, bPayload, 0)
+			matrix.MulAddInto(c, blockFrom(ablk, bs, bs), blockFrom(bblk, bs, bs))
+			pr.Compute(float64(bs) * float64(bs) * float64(bs))
+			collective.BarrierFree(pr, everyone, tagMemEffBarrier+k)
+		}
+
+		gatherGrid(pr, everyone, q, q, tagGatherC, c, &product)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{C: product, Sim: sim, N: n, P: p}, nil
+}
+
+// allPortBcastCost is the all-port one-to-all broadcast cost for m
+// words among g processors: ts·log₂g + tw·m/log₂g.
+func allPortBcastCost(mach *machine.Machine, m, g int) float64 {
+	d, _ := topology.Log2(g)
+	if d == 0 {
+		return 0
+	}
+	return mach.Ts*float64(d) + mach.Tw*float64(m)/float64(d)
+}
+
+func errNonPow2Mesh(q int) error {
+	return fmt.Errorf("core: all-port broadcasts need a power-of-two mesh side, got %d", q)
+}

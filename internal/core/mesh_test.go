@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"matscale/internal/machine"
+	"matscale/internal/model"
+)
+
+func testMesh(p int) *machine.Machine {
+	return machine.Mesh(p, testParams.Ts, testParams.Tw)
+}
+
+func TestFoxMeshCorrectAndExact(t *testing.T) {
+	for _, c := range []struct{ n, p int }{{8, 1}, {8, 4}, {12, 4}, {6, 9}, {8, 16}, {16, 64}} {
+		res := runCase(t, "FoxMesh", FoxMesh, testMesh(c.p), c.n)
+		wantTp(t, "FoxMesh", res, model.ExactFoxMeshTp(testParams, c.n, c.p))
+	}
+}
+
+func TestFoxMeshMatchesPaperMeshExpression(t *testing.T) {
+	// Section 4.3: on the mesh, Fox's algorithm takes
+	// n³/p + tw·n² + ts·p.
+	res := runCase(t, "FoxMesh", FoxMesh, testMesh(16), 16)
+	want := 16.0*16*16/16 + testParams.Tw*16*16 + testParams.Ts*16
+	if math.Abs(res.Sim.Tp-want) > 1e-9*want {
+		t.Fatalf("Tp = %v, want the paper's mesh expression %v", res.Sim.Tp, want)
+	}
+}
+
+// Section 4.4's observation: "Due to nearest neighbor communications
+// ... Cannon's algorithm's performance is the same on both mesh and
+// hypercube architectures."
+func TestCannonSameOnMeshAndHypercube(t *testing.T) {
+	for _, c := range []struct{ n, p int }{{8, 4}, {16, 16}, {16, 64}} {
+		onMesh := runCase(t, "Cannon/mesh", Cannon, testMesh(c.p), c.n)
+		onCube := runCase(t, "Cannon/hc", Cannon, testHypercube(c.p), c.n)
+		if onMesh.Sim.Tp != onCube.Sim.Tp {
+			t.Fatalf("n=%d p=%d: mesh Tp %v != hypercube Tp %v", c.n, c.p, onMesh.Sim.Tp, onCube.Sim.Tp)
+		}
+	}
+}
+
+// On the mesh, the relayed Fox is slower than Cannon by roughly the
+// broadcast factor — the comparison Section 4.3 draws.
+func TestFoxMeshSlowerThanCannon(t *testing.T) {
+	fox := runCase(t, "FoxMesh", FoxMesh, testMesh(64), 16)
+	can := runCase(t, "Cannon", Cannon, testMesh(64), 16)
+	if fox.Sim.Tp <= can.Sim.Tp {
+		t.Fatalf("FoxMesh Tp %v should exceed Cannon Tp %v", fox.Sim.Tp, can.Sim.Tp)
+	}
+}
+
+// The simple algorithm also runs unchanged on the mesh machine (its
+// collectives only use logical-neighbor transfers).
+func TestSimpleOnMesh(t *testing.T) {
+	res := runCase(t, "Simple/mesh", Simple, testMesh(16), 8)
+	wantTp(t, "Simple/mesh", res, model.ExactSimpleTp(testParams, 8, 16))
+}
+
+func TestFoxAsyncCorrect(t *testing.T) {
+	for _, c := range []struct{ n, p int }{{8, 1}, {8, 4}, {16, 16}, {32, 64}} {
+		runCase(t, "FoxAsync", FoxAsync, testMesh(c.p), c.n)
+	}
+}
+
+// Section 4.3: the asynchronous execution brings Fox's algorithm "to
+// almost a factor of two of Cannon's algorithm" — and far below the
+// synchronized relay.
+func TestFoxAsyncWithinTwiceCannon(t *testing.T) {
+	for _, c := range []struct{ n, p int }{{32, 16}, {64, 64}} {
+		async := runCase(t, "FoxAsync", FoxAsync, testMesh(c.p), c.n)
+		sync := runCase(t, "FoxMesh", FoxMesh, testMesh(c.p), c.n)
+		cannon := runCase(t, "Cannon", Cannon, testMesh(c.p), c.n)
+		if async.Sim.Tp >= sync.Sim.Tp {
+			t.Errorf("n=%d p=%d: async Tp %v not below synchronized %v", c.n, c.p, async.Sim.Tp, sync.Sim.Tp)
+		}
+		if async.Sim.Tp > 2.2*cannon.Sim.Tp {
+			t.Errorf("n=%d p=%d: async Tp %v more than ~2x Cannon's %v", c.n, c.p, async.Sim.Tp, cannon.Sim.Tp)
+		}
+		if async.Sim.Tp < cannon.Sim.Tp {
+			t.Errorf("n=%d p=%d: async Fox %v beat Cannon %v — relay cannot win", c.n, c.p, async.Sim.Tp, cannon.Sim.Tp)
+		}
+	}
+}
+
+func TestFoxPacketPipelinedCorrect(t *testing.T) {
+	for _, c := range []struct{ n, p int }{{8, 1}, {8, 4}, {16, 16}, {32, 64}} {
+		runCase(t, "FoxPacketPipelined", FoxPacketPipelined, testMesh(c.p), c.n)
+	}
+}
+
+// The real packet pipeline lands between Cannon and the synchronized
+// relay, and close to the charged Eq. (4) model.
+func TestFoxPacketPipelinedBounds(t *testing.T) {
+	n, p := 64, 64
+	pkt := runCase(t, "FoxPacketPipelined", FoxPacketPipelined, testMesh(p), n)
+	relay := runCase(t, "FoxMesh", FoxMesh, testMesh(p), n)
+	cannon := runCase(t, "Cannon", Cannon, testMesh(p), n)
+	if pkt.Sim.Tp >= relay.Sim.Tp {
+		t.Fatalf("packet pipeline %v not below relay %v", pkt.Sim.Tp, relay.Sim.Tp)
+	}
+	if pkt.Sim.Tp <= cannon.Sim.Tp {
+		t.Fatalf("packet pipeline %v unexpectedly beat Cannon %v", pkt.Sim.Tp, cannon.Sim.Tp)
+	}
+	// Within 2x of the charged pipelined model (the real pipeline pays
+	// per-hop startups the idealized charge does not).
+	charged := model.ExactFoxPipelinedTp(testParams, n, p)
+	if pkt.Sim.Tp > 2*charged {
+		t.Fatalf("packet pipeline %v far above charged model %v", pkt.Sim.Tp, charged)
+	}
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"matscale/internal/machine"
+	"matscale/internal/matrix"
+	"matscale/internal/model"
+)
+
+// Property: for randomly drawn valid configurations, every mesh
+// algorithm is bit-exact against the serial product (integer inputs)
+// and exactly matches its timing model.
+func TestQuickRandomMeshConfigs(t *testing.T) {
+	f := func(seed uint64, qRaw, bsRaw uint8) bool {
+		q := []int{1, 2, 4, 8}[qRaw%4]
+		bs := int(bsRaw)%3 + 1
+		n := q * bs
+		p := q * q
+		a := matrix.RandomInts(n, n, seed)
+		b := matrix.RandomInts(n, n, seed+1)
+		want := matrix.Mul(a, b)
+		for _, c := range []struct {
+			name  string
+			alg   Algorithm
+			exact func(model.Params, int, int) float64
+		}{
+			{"Simple", Simple, model.ExactSimpleTp},
+			{"Cannon", Cannon, model.ExactCannonTp},
+			{"Fox", Fox, model.ExactFoxTp},
+			{"FoxPipelined", FoxPipelined, model.ExactFoxPipelinedTp},
+		} {
+			res, err := c.alg(machine.Hypercube(p, 17, 3), a, b)
+			if err != nil {
+				t.Logf("%s n=%d p=%d: %v", c.name, n, p, err)
+				return false
+			}
+			if matrix.MaxAbsDiff(res.C, want) != 0 {
+				t.Logf("%s n=%d p=%d: wrong product", c.name, n, p)
+				return false
+			}
+			wantTp := c.exact(model.Params{Ts: 17, Tw: 3}, n, p)
+			if d := res.Sim.Tp - wantTp; d > 1e-9 || d < -1e-9 {
+				t.Logf("%s n=%d p=%d: Tp %v want %v", c.name, n, p, res.Sim.Tp, wantTp)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random cube configurations keep GK and Berntsen exact.
+func TestQuickRandomCubeConfigs(t *testing.T) {
+	f := func(seed uint64, qRaw, bsRaw uint8) bool {
+		q := []int{1, 2, 4}[qRaw%3]
+		p := q * q * q
+		// Berntsen needs q² | n; use n = q²·k.
+		n := q * q * (int(bsRaw)%2 + 1)
+		a := matrix.RandomInts(n, n, seed)
+		b := matrix.RandomInts(n, n, seed+1)
+		want := matrix.Mul(a, b)
+		pr := model.Params{Ts: 17, Tw: 3}
+
+		gk, err := GK(machine.Hypercube(p, 17, 3), a, b)
+		if err != nil || matrix.MaxAbsDiff(gk.C, want) != 0 {
+			return false
+		}
+		if d := gk.Sim.Tp - model.ExactGKTp(pr, n, p); d > 1e-9 || d < -1e-9 {
+			return false
+		}
+		bern, err := Berntsen(machine.Hypercube(p, 17, 3), a, b)
+		if err != nil || matrix.MaxAbsDiff(bern.C, want) != 0 {
+			return false
+		}
+		if d := bern.Sim.Tp - model.ExactBerntsenTp(pr, n, p); d > 1e-9 || d < -1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Structured workloads through the parallel algorithms: banded and
+// Hilbert inputs are unforgiving about block placement mistakes.
+func TestStructuredWorkloads(t *testing.T) {
+	n := 16
+	inputs := []struct {
+		name string
+		a, b *matrix.Dense
+	}{
+		{"banded", matrix.Banded(n, 2, 5), matrix.Banded(n, 1, 6)},
+		{"hilbert", matrix.Hilbert(n), matrix.Hilbert(n)},
+		{"symmetric x diagonal", matrix.Symmetric(n, 7), matrix.Diagonal(make([]float64, n))},
+	}
+	// Give the diagonal case a nontrivial diagonal.
+	for i := 0; i < n; i++ {
+		inputs[2].b.Set(i, i, float64(i+1))
+	}
+	for _, in := range inputs {
+		want := matrix.Mul(in.a, in.b)
+		for _, alg := range []struct {
+			name string
+			run  Algorithm
+			p    int
+		}{
+			{"Cannon", Cannon, 16},
+			{"GK", GK, 64},
+			{"Berntsen", Berntsen, 8},
+		} {
+			res, err := alg.run(testHypercube(alg.p), in.a, in.b)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", alg.name, in.name, err)
+			}
+			if d := matrix.MaxAbsDiff(res.C, want); d > 1e-12 {
+				t.Errorf("%s on %s: differs by %v", alg.name, in.name, d)
+			}
+		}
+	}
+}
+
+// The band-product property survives the distributed algorithms: a
+// banded product computed by GK has the same bandwidth bound.
+func TestBandedProductThroughGK(t *testing.T) {
+	a := matrix.Banded(16, 1, 11)
+	b := matrix.Banded(16, 2, 12)
+	res, err := GK(testHypercube(64), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw := matrix.Bandwidth(res.C); bw > 3 {
+		t.Fatalf("band-1 · band-2 product has bandwidth %d > 3", bw)
+	}
+}
+
+// Meta-sweep: the equation exactness holds across machine constants,
+// including the degenerate ts=0 and tw=0 machines.
+func TestEquationsAcrossMachineConstants(t *testing.T) {
+	params := []model.Params{{Ts: 0, Tw: 1}, {Ts: 1, Tw: 0}, {Ts: 17, Tw: 3}, {Ts: 150, Tw: 3}, {Ts: 0.5, Tw: 3}}
+	a := matrix.RandomInts(16, 16, 61)
+	b := matrix.RandomInts(16, 16, 62)
+	for _, pr := range params {
+		for _, c := range []struct {
+			name  string
+			alg   Algorithm
+			p     int
+			exact func(model.Params, int, int) float64
+		}{
+			{"Simple", Simple, 16, model.ExactSimpleTp},
+			{"Cannon", Cannon, 16, model.ExactCannonTp},
+			{"Fox", Fox, 16, model.ExactFoxTp},
+			{"Berntsen", Berntsen, 64, model.ExactBerntsenTp},
+			{"GK", GK, 64, model.ExactGKTp},
+			{"GKImproved", GKImprovedBroadcast, 64, model.ExactGKImprovedTp},
+		} {
+			m := machine.Hypercube(c.p, pr.Ts, pr.Tw)
+			res, err := c.alg(m, a, b)
+			if err != nil {
+				t.Fatalf("%s ts=%g tw=%g: %v", c.name, pr.Ts, pr.Tw, err)
+			}
+			if d := matrix.MaxAbsDiff(res.C, matrix.Mul(a, b)); d != 0 {
+				t.Fatalf("%s ts=%g tw=%g: wrong product", c.name, pr.Ts, pr.Tw)
+			}
+			want := c.exact(pr, 16, c.p)
+			if diff := res.Sim.Tp - want; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("%s ts=%g tw=%g: Tp=%v want %v", c.name, pr.Ts, pr.Tw, res.Sim.Tp, want)
+			}
+		}
+	}
+}

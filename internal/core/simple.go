@@ -1,0 +1,87 @@
+package core
+
+import (
+	"matscale/internal/collective"
+	"matscale/internal/machine"
+	"matscale/internal/matrix"
+	"matscale/internal/simulator"
+	"matscale/internal/topology"
+)
+
+const (
+	tagSimpleRowGather = 100
+	tagSimpleColGather = 200
+)
+
+// Simple implements the memory-inefficient algorithm of Section 4.1 on
+// a √p × √p processor mesh: an all-to-all broadcast of the A blocks
+// along mesh rows and of the B blocks along mesh columns, followed by
+// the √p local block multiplications.
+//
+// Measured parallel time (the paper's Eq. (2) with the recursive-
+// doubling all-gather cost written out exactly):
+//
+//	Tp = n³/p + 2·( ts·log₂√p + tw·(n²/p)·(√p − 1) )
+func Simple(m *machine.Machine, a, b *matrix.Dense) (*Result, error) {
+	return simpleImpl(m, a, b, false)
+}
+
+// SimpleAllPort is the Section 7.1 variant on a hypercube with
+// simultaneous communication on all ports: the all-to-all broadcasts
+// cost ts·log√p + tw·(n²/p)·√p/log√p each, and the broadcasts of A and
+// B proceed simultaneously so only one is charged (Eq. 16).
+func SimpleAllPort(m *machine.Machine, a, b *matrix.Dense) (*Result, error) {
+	return simpleImpl(m, a, b, true)
+}
+
+func simpleImpl(m *machine.Machine, a, b *matrix.Dense, allPort bool) (*Result, error) {
+	n, err := checkInputs(m, a, b)
+	if err != nil {
+		return nil, err
+	}
+	p := m.P()
+	q, err := squareMeshSide(n, p)
+	if err != nil {
+		return nil, err
+	}
+	bs := n / q // block side
+	mesh := topology.NewTorus2D(q, q)
+	ga := matrix.Partition(a, q, q)
+	gb := matrix.Partition(b, q, q)
+
+	var product *matrix.Dense
+	sim, err := simulator.Run(m, func(pr *simulator.Proc) {
+		i, j := mesh.Coords(pr.Rank())
+		myA := ga.Block(i, j)
+		myB := gb.Block(i, j)
+		row := mesh.RowRanks(i)
+		col := mesh.ColRanks(j)
+
+		// Phase 1: every processor acquires the full block row of A and
+		// block column of B it needs.
+		var rowA, colB []float64
+		if allPort {
+			rowA = collective.AllGatherAllPort(pr, row, tagSimpleRowGather, blockData(myA))
+			colB = collective.AllGatherFree(pr, col, tagSimpleColGather, blockData(myB))
+		} else {
+			rowA = collective.AllGather(pr, row, tagSimpleRowGather, blockData(myA))
+			colB = collective.AllGather(pr, col, tagSimpleColGather, blockData(myB))
+		}
+
+		// Phase 2: C_ij = Σ_k A_ik · B_kj, √p block multiplications of
+		// bs³ unit operations each.
+		c := matrix.New(bs, bs)
+		for k := 0; k < q; k++ {
+			ak := blockFrom(rowA[k*bs*bs:(k+1)*bs*bs], bs, bs)
+			bk := blockFrom(colB[k*bs*bs:(k+1)*bs*bs], bs, bs)
+			matrix.MulAddInto(c, ak, bk)
+			pr.Compute(float64(bs) * float64(bs) * float64(bs))
+		}
+
+		gatherGrid(pr, allRanks(p), q, q, tagGatherC, c, &product)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{C: product, Sim: sim, N: n, P: p}, nil
+}

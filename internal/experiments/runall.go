@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"matscale/internal/core"
+	"matscale/internal/model"
+)
+
+// RunAll regenerates the full reproduction — every table, figure and
+// analysis — and writes the rendered reports to w in the paper's
+// order. The quick flag skips the two CM-5 sweeps (Figures 4 and 5),
+// which dominate the running time.
+func RunAll(w io.Writer, quick bool) error {
+	section := func(title string) {
+		fmt.Fprintf(w, "\n================ %s ================\n\n", title)
+	}
+
+	section("Table 1 — overheads and scalability (ts=150, tw=3)")
+	fmt.Fprint(w, Table1(model.Params{Ts: 150, Tw: 3}))
+
+	for fig := 1; fig <= 3; fig++ {
+		pr, _ := FigureParams(fig)
+		section(fmt.Sprintf("Figure %d — regions of superiority (ts=%g, tw=%g)", fig, pr.Ts, pr.Tw))
+		m, err := RegionFigure(fig, 30, 16)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(w, m.Render())
+	}
+
+	if !quick {
+		for fig := 4; fig <= 5; fig++ {
+			section(fmt.Sprintf("Figure %d — CM-5 efficiency curves", fig))
+			f, err := EfficiencyFigure(fig)
+			if err != nil {
+				return err
+			}
+			fmt.Fprint(w, f.Render())
+		}
+	}
+
+	section("Section 6 — pairwise crossovers")
+	fmt.Fprint(w, CrossoverReport(model.Params{Ts: 150, Tw: 3}))
+
+	section("Section 7 — all-port communication")
+	fmt.Fprint(w, AllPortReport(model.Params{Ts: 10, Tw: 3}))
+
+	section("Section 8 — technology tradeoffs")
+	tech, err := TechnologyReport(model.Params{Ts: 0.5, Tw: 3}, 1<<14, 0.05, 2)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, tech)
+
+	section("Section 5.4.1 — GK with the Johnsson-Ho broadcast")
+	fmt.Fprint(w, ImprovedGKReport(model.Params{Ts: 9, Tw: 1}, 4096))
+
+	section("Methodology validation — isoefficiency holds in simulation")
+	pts, err := IsoefficiencyValidation(model.Params{Ts: 17, Tw: 3}, 0.5, "cannon", []int{4, 16, 64, 256})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, RenderIso("cannon", pts))
+
+	section("Methodology validation — Section 6 predictions vs simulated races")
+	outcomes, err := PredictionAccuracy(model.Params{Ts: 17, Tw: 3}, []int{16, 32, 48, 64}, []int{64, 256, 512})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, RenderPrediction(outcomes))
+
+	section("Section 3 — fixed-size speedup saturation")
+	sat, err := SpeedupSaturation(model.Params{Ts: 150, Tw: 3}, core.Cannon, 64, []int{1, 4, 16, 64, 256, 1024})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, RenderSpeedup(64, sat))
+
+	return nil
+}

@@ -1,0 +1,163 @@
+// Package machine defines the communication cost model of the paper
+// (Section 2): transferring a message of m words between adjacent
+// processors takes ts + tw·m time, where ts is the message startup time
+// and tw the per-word transfer time, both normalized so that one basic
+// arithmetic operation (a floating-point multiply plus add) takes unit
+// time.
+//
+// A Machine couples a Topology with the cost parameters, a routing
+// discipline (store-and-forward charges every hop; cut-through charges
+// a single ts + tw·m regardless of distance, the regime the paper
+// assumes for Cannon's alignment step), and the one-port/all-port
+// distinction of Section 7.
+package machine
+
+import (
+	"fmt"
+
+	"matscale/internal/topology"
+)
+
+// Routing selects how multi-hop messages are charged.
+type Routing int
+
+const (
+	// StoreAndForward charges (ts + tw·m) per hop — the discipline under
+	// which the paper derives the DNS and GK stage costs (messages are
+	// relayed in log p^(1/3) steps).
+	StoreAndForward Routing = iota
+	// CutThrough charges ts + tw·m independent of distance — the regime
+	// the paper assumes when it ignores Cannon's alignment cost and
+	// when it models the CM-5 as fully connected.
+	CutThrough
+)
+
+func (r Routing) String() string {
+	switch r {
+	case StoreAndForward:
+		return "store-and-forward"
+	case CutThrough:
+		return "cut-through"
+	default:
+		return fmt.Sprintf("Routing(%d)", int(r))
+	}
+}
+
+// Machine is a parallel computer: a topology plus the normalized cost
+// parameters of the paper.
+type Machine struct {
+	Topo topology.Topology
+	Ts   float64 // message startup time, in flop units
+	Tw   float64 // per-word transfer time, in flop units
+	// Th is the per-hop switching latency under cut-through routing:
+	// a transfer of m words over h hops costs ts + th·h + tw·m. The
+	// paper's analysis takes th ≈ 0 (it "can be ignored with respect
+	// to" the startup time on machines of its era); the parameter is
+	// exposed for studying routers where it is not negligible.
+	Th      float64
+	Routing Routing
+	// AllPort permits simultaneous communication on all channels of a
+	// processor (Section 7). One-port machines serialize transfers.
+	AllPort bool
+	// TrackContention makes the simulator serialize transfers that
+	// share a physical link (e-cube routes on hypercubes, dimension-
+	// order routes on meshes). The paper's model assumes contention-
+	// free communication; the algorithms it analyzes route on disjoint
+	// links by construction, and enabling this flag verifies that: their
+	// measured times do not change. Programs that do collide incur
+	// waiting time, reported in simulator.Result.ContentionWait.
+	TrackContention bool
+}
+
+// Route returns the ordered node sequence of the path a message from
+// src to dst takes, excluding src itself: dimension-order (e-cube) on
+// hypercubes and 3-D grids, x-then-y on meshes, direct elsewhere. Used
+// by contention tracking.
+func (m *Machine) Route(src, dst int) []int {
+	if src == dst {
+		return nil
+	}
+	switch t := m.Topo.(type) {
+	case topology.Hypercube:
+		var out []int
+		cur := src
+		for d := 0; d < t.Dim; d++ {
+			if (src^dst)&(1<<d) != 0 {
+				cur ^= 1 << d
+				out = append(out, cur)
+			}
+		}
+		return out
+	case topology.Torus2D:
+		si, sj := t.Coords(src)
+		di, dj := t.Coords(dst)
+		var out []int
+		ci, cj := si, sj
+		for cj != dj {
+			cj = stepWrap(cj, dj, t.C)
+			out = append(out, t.RankAt(ci, cj))
+		}
+		for ci != di {
+			ci = stepWrap(ci, di, t.R)
+			out = append(out, t.RankAt(ci, cj))
+		}
+		return out
+	default:
+		return []int{dst}
+	}
+}
+
+// stepWrap moves cur one step toward dst along the shorter wraparound
+// direction of a ring of size n.
+func stepWrap(cur, dst, n int) int {
+	fwd := ((dst-cur)%n + n) % n
+	if fwd <= n-fwd {
+		return (cur + 1) % n
+	}
+	return (cur - 1 + n) % n
+}
+
+// Validate reports configuration errors.
+func (m *Machine) Validate() error {
+	if m.Topo == nil {
+		return fmt.Errorf("machine: no topology")
+	}
+	if m.Ts < 0 || m.Tw < 0 || m.Th < 0 {
+		return fmt.Errorf("machine: negative cost parameters ts=%v tw=%v th=%v", m.Ts, m.Tw, m.Th)
+	}
+	return nil
+}
+
+// P returns the number of processors.
+func (m *Machine) P() int { return m.Topo.Size() }
+
+// MsgTime returns the virtual time to move words from src to dst.
+func (m *Machine) MsgTime(words, src, dst int) float64 {
+	if src == dst {
+		return 0
+	}
+	hops := m.Topo.Distance(src, dst)
+	return m.MsgTimeHops(words, hops)
+}
+
+// MsgTimeHops returns the virtual time for a transfer of the given word
+// count over the given number of hops under the machine's routing.
+func (m *Machine) MsgTimeHops(words, hops int) float64 {
+	if hops <= 0 {
+		return 0
+	}
+	per := m.Ts + m.Tw*float64(words)
+	if m.Routing == CutThrough {
+		return per + m.Th*float64(hops)
+	}
+	return float64(hops) * per
+}
+
+// String summarizes the machine for reports.
+func (m *Machine) String() string {
+	port := "one-port"
+	if m.AllPort {
+		port = "all-port"
+	}
+	return fmt.Sprintf("%s ts=%g tw=%g %s %s", m.Topo.Name(), m.Ts, m.Tw, m.Routing, port)
+}

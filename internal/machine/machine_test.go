@@ -1,0 +1,172 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMsgTimeAdjacent(t *testing.T) {
+	m := Hypercube(8, 150, 3)
+	// Neighbors 0 and 1: one hop, ts + tw·m.
+	if got, want := m.MsgTime(10, 0, 1), 150+3*10.0; got != want {
+		t.Fatalf("MsgTime = %v, want %v", got, want)
+	}
+}
+
+func TestMsgTimeSelfIsFree(t *testing.T) {
+	m := Hypercube(8, 150, 3)
+	if m.MsgTime(1000, 3, 3) != 0 {
+		t.Fatal("self message should cost 0")
+	}
+}
+
+func TestStoreAndForwardChargesPerHop(t *testing.T) {
+	m := Hypercube(8, 10, 2)
+	// 0 -> 7 is 3 hops on a 3-cube.
+	want := 3 * (10 + 2*5.0)
+	if got := m.MsgTime(5, 0, 7); got != want {
+		t.Fatalf("SF MsgTime = %v, want %v", got, want)
+	}
+}
+
+func TestCutThroughDistanceIndependent(t *testing.T) {
+	m := Hypercube(8, 10, 2)
+	m.Routing = CutThrough
+	if got, want := m.MsgTime(5, 0, 7), 10+2*5.0; got != want {
+		t.Fatalf("CT MsgTime = %v, want %v", got, want)
+	}
+}
+
+func TestMsgTimeHopsZero(t *testing.T) {
+	m := Hypercube(4, 1, 1)
+	if m.MsgTimeHops(100, 0) != 0 {
+		t.Fatal("zero hops should cost 0")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (&Machine{}).Validate(); err == nil || !strings.Contains(err.Error(), "no topology") {
+		t.Fatalf("Validate of empty machine = %v", err)
+	}
+	m := Hypercube(4, 1, 1)
+	m.Tw = -1
+	if err := m.Validate(); err == nil || !strings.Contains(err.Error(), "negative") {
+		t.Fatalf("Validate negative tw = %v", err)
+	}
+	if err := Hypercube(4, 1, 1).Validate(); err != nil {
+		t.Fatalf("Validate of valid machine = %v", err)
+	}
+}
+
+func TestPresets(t *testing.T) {
+	cases := []struct {
+		m      *Machine
+		ts, tw float64
+	}{
+		{NCube2(16), 150, 3},
+		{FutureHypercube(16), 10, 3},
+		{SIMD(16), 0.5, 3},
+	}
+	for _, c := range cases {
+		if c.m.Ts != c.ts || c.m.Tw != c.tw {
+			t.Errorf("%s: ts=%v tw=%v, want %v/%v", c.m, c.m.Ts, c.m.Tw, c.ts, c.tw)
+		}
+		if c.m.P() != 16 {
+			t.Errorf("%s: P=%d, want 16", c.m, c.m.P())
+		}
+		if err := c.m.Validate(); err != nil {
+			t.Errorf("%s: %v", c.m, err)
+		}
+	}
+}
+
+func TestCM5Preset(t *testing.T) {
+	m := CM5(512)
+	if m.P() != 512 {
+		t.Fatalf("P = %d", m.P())
+	}
+	// ts = 380/1.53 ≈ 248.37, tw = 1.8/1.53 ≈ 1.176.
+	if m.Ts < 248 || m.Ts > 249 {
+		t.Fatalf("CM5 ts = %v", m.Ts)
+	}
+	if m.Tw < 1.17 || m.Tw > 1.18 {
+		t.Fatalf("CM5 tw = %v", m.Tw)
+	}
+	// Fully connected: every transfer is one hop.
+	if m.MsgTime(7, 0, 511) != m.MsgTime(7, 3, 4) {
+		t.Fatal("CM5 transfers should be distance independent")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	m := NCube2(8)
+	s := m.String()
+	for _, frag := range []string{"hypercube", "ts=150", "tw=3", "store-and-forward", "one-port"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q missing %q", s, frag)
+		}
+	}
+	m.AllPort = true
+	if !strings.Contains(m.String(), "all-port") {
+		t.Errorf("all-port missing from %q", m.String())
+	}
+	if Routing(9).String() != "Routing(9)" {
+		t.Errorf("unknown routing String = %q", Routing(9).String())
+	}
+	if CutThrough.String() != "cut-through" {
+		t.Errorf("CutThrough String = %q", CutThrough.String())
+	}
+}
+
+// Property: message time is monotone in word count and in hop count,
+// and symmetric between endpoints.
+func TestQuickMsgTimeMonotoneSymmetric(t *testing.T) {
+	m := Hypercube(64, 7, 2)
+	f := func(a, b uint8, w uint16) bool {
+		x, y := int(a)%64, int(b)%64
+		w1 := int(w % 1000)
+		if m.MsgTime(w1, x, y) != m.MsgTime(w1, y, x) {
+			return false
+		}
+		return m.MsgTime(w1, x, y) <= m.MsgTime(w1+1, x, y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cut-through never charges more than store-and-forward.
+func TestQuickCutThroughCheaper(t *testing.T) {
+	sf := Hypercube(64, 5, 3)
+	ct := Hypercube(64, 5, 3)
+	ct.Routing = CutThrough
+	f := func(a, b uint8, w uint16) bool {
+		x, y := int(a)%64, int(b)%64
+		words := int(w % 500)
+		return ct.MsgTime(words, x, y) <= sf.MsgTime(words, x, y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCutThroughPerHopLatency(t *testing.T) {
+	m := Hypercube(8, 10, 2)
+	m.Routing = CutThrough
+	m.Th = 4
+	// 0 -> 7 is 3 hops: ts + th·3 + tw·5 = 10 + 12 + 10 = 32.
+	if got := m.MsgTime(5, 0, 7); got != 32 {
+		t.Fatalf("CT+Th MsgTime = %v, want 32", got)
+	}
+	// Th is ignored under store-and-forward.
+	m.Routing = StoreAndForward
+	if got := m.MsgTime(5, 0, 7); got != 3*(10+2*5.0) {
+		t.Fatalf("SF MsgTime = %v", got)
+	}
+	m.Th = -1
+	m.Routing = CutThrough
+	if err := m.Validate(); err == nil {
+		t.Fatal("negative Th accepted")
+	}
+}

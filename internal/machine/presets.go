@@ -1,0 +1,59 @@
+package machine
+
+import "matscale/internal/topology"
+
+// Presets for the machines the paper analyzes. The figures of Section 6
+// use three (ts, tw) pairs; Section 9 normalizes CM-5 measurements to
+// flop units.
+
+// CM5 timing constants measured by the paper (Section 9): 1.53 µs per
+// multiply-add, 380 µs message startup, 1.8 µs per 4-byte word.
+const (
+	CM5FlopMicros    = 1.53
+	CM5StartupMicros = 380.0
+	CM5PerWordMicros = 1.8
+)
+
+// NCube2 returns a hypercube with tw = 3 and ts = 150, the
+// nCUBE-2-like machine of Figure 1.
+func NCube2(p int) *Machine {
+	return &Machine{Topo: topology.NewHypercube(p), Ts: 150, Tw: 3, Routing: StoreAndForward}
+}
+
+// FutureHypercube returns a hypercube with tw = 3 and ts = 10, the
+// faster-CPU machine of Figure 2.
+func FutureHypercube(p int) *Machine {
+	return &Machine{Topo: topology.NewHypercube(p), Ts: 10, Tw: 3, Routing: StoreAndForward}
+}
+
+// SIMD returns a hypercube with tw = 3 and ts = 0.5, the CM-2-like
+// machine of Figure 3.
+func SIMD(p int) *Machine {
+	return &Machine{Topo: topology.NewHypercube(p), Ts: 0.5, Tw: 3, Routing: StoreAndForward}
+}
+
+// CM5 returns a fully connected machine with the paper's measured CM-5
+// constants normalized to unit flop time (Section 9): ts ≈ 248.4,
+// tw ≈ 1.176.
+func CM5(p int) *Machine {
+	return &Machine{
+		Topo:    topology.NewFullyConnected(p),
+		Ts:      CM5StartupMicros / CM5FlopMicros,
+		Tw:      CM5PerWordMicros / CM5FlopMicros,
+		Routing: CutThrough,
+	}
+}
+
+// Hypercube returns a store-and-forward hypercube with arbitrary cost
+// parameters.
+func Hypercube(p int, ts, tw float64) *Machine {
+	return &Machine{Topo: topology.NewHypercube(p), Ts: ts, Tw: tw, Routing: StoreAndForward}
+}
+
+// Mesh returns a √p × √p wraparound mesh (torus) with store-and-forward
+// routing — the architecture on which Section 4.3 derives Fox's
+// algorithm's mesh running time and on which Cannon's algorithm
+// performs identically to the hypercube (Section 4.4's observation).
+func Mesh(p int, ts, tw float64) *Machine {
+	return &Machine{Topo: topology.NewSquareTorus(p), Ts: ts, Tw: tw, Routing: StoreAndForward}
+}

@@ -1,0 +1,68 @@
+package matrix
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadCSV parses a matrix from comma-separated rows (whitespace around
+// values is ignored; blank lines are skipped). All rows must have the
+// same number of columns.
+func ReadCSV(r io.Reader) (*Dense, error) {
+	var rows [][]float64
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		row := make([]float64, len(fields))
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return nil, fmt.Errorf("matrix: line %d, column %d: %w", lineNo, i+1, err)
+			}
+			row[i] = v
+		}
+		if len(rows) > 0 && len(row) != len(rows[0]) {
+			return nil, fmt.Errorf("matrix: line %d has %d columns, want %d", lineNo, len(row), len(rows[0]))
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("matrix: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("matrix: empty input")
+	}
+	return FromRows(rows), nil
+}
+
+// WriteCSV writes m as comma-separated rows using the shortest exact
+// float representation.
+func WriteCSV(w io.Writer, m *Dense) error {
+	bw := bufio.NewWriter(w)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if j > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return fmt.Errorf("matrix: %w", err)
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatFloat(m.Data[i*m.Cols+j], 'g', -1, 64)); err != nil {
+				return fmt.Errorf("matrix: %w", err)
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return fmt.Errorf("matrix: %w", err)
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,92 @@
+package matrix
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadCSVBasic(t *testing.T) {
+	m, err := ReadCSV(strings.NewReader("1, 2.5, -3\n\n4,5e2,6\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := FromRows([][]float64{{1, 2.5, -3}, {4, 500, 6}})
+	if MaxAbsDiff(m, want) != 0 {
+		t.Fatalf("parsed %v", m)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", "empty input"},
+		{"1,2\n3\n", "columns"},
+		{"1,x\n", "column 2"},
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c.in)); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("input %q: err = %v, want %q", c.in, err, c.want)
+		}
+	}
+}
+
+func TestWriteCSVFormat(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteCSV(&sb, FromRows([][]float64{{1, -0.5}, {300, 0}})); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "1,-0.5\n300,0\n" {
+		t.Fatalf("wrote %q", sb.String())
+	}
+}
+
+// Property: WriteCSV then ReadCSV is the identity (FormatFloat 'g', -1
+// round-trips float64 exactly).
+func TestQuickCSVRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		m := Random(5, 7, seed)
+		var sb strings.Builder
+		if err := WriteCSV(&sb, m); err != nil {
+			return false
+		}
+		back, err := ReadCSV(strings.NewReader(sb.String()))
+		if err != nil {
+			return false
+		}
+		return MaxAbsDiff(m, back) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Fuzz seeds double as unit tests under plain `go test`; run with
+// `go test -fuzz FuzzReadCSV ./internal/matrix` to explore further.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("1,2\n3,4\n")
+	f.Add("")
+	f.Add("1,2\n3\n")
+	f.Add("nan,inf\n1,2\n")
+	f.Add(" 1 , 2 \n\n 3 , 4 \n")
+	f.Fuzz(func(t *testing.T, in string) {
+		m, err := ReadCSV(strings.NewReader(in))
+		if err != nil {
+			return // malformed input must error, not panic
+		}
+		if m.Rows <= 0 || m.Cols <= 0 || len(m.Data) != m.Rows*m.Cols {
+			t.Fatalf("accepted matrix with bad shape %dx%d", m.Rows, m.Cols)
+		}
+		// Round trip must preserve shape.
+		var sb strings.Builder
+		if err := WriteCSV(&sb, m); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadCSV(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.Rows != m.Rows || back.Cols != m.Cols {
+			t.Fatalf("round trip changed shape")
+		}
+	})
+}

@@ -1,0 +1,94 @@
+package matrix
+
+import "fmt"
+
+// Grid is a two-dimensional arrangement of sub-blocks of a matrix, as
+// distributed over a √p × √p logical processor mesh by the algorithms in
+// the paper (Sections 4.1–4.3) or over the faces of the p^(1/3)-sided
+// processor cube by the DNS and GK algorithms (Sections 4.5–4.6).
+type Grid struct {
+	GridRows, GridCols int
+	Blocks             []*Dense // row-major over the grid
+}
+
+// Partition splits m into gr × gc equally sized blocks. Both dimensions
+// must divide evenly, mirroring the paper's assumption that √p divides n.
+func Partition(m *Dense, gr, gc int) *Grid {
+	if gr <= 0 || gc <= 0 {
+		panic(fmt.Sprintf("matrix: Partition grid %dx%d must be positive", gr, gc))
+	}
+	if m.Rows%gr != 0 || m.Cols%gc != 0 {
+		panic(fmt.Sprintf("matrix: Partition %dx%d into %dx%d grid does not divide evenly", m.Rows, m.Cols, gr, gc))
+	}
+	h, w := m.Rows/gr, m.Cols/gc
+	g := &Grid{GridRows: gr, GridCols: gc, Blocks: make([]*Dense, gr*gc)}
+	for i := 0; i < gr; i++ {
+		for j := 0; j < gc; j++ {
+			g.Blocks[i*gc+j] = m.Block(i*h, j*w, h, w)
+		}
+	}
+	return g
+}
+
+// Block returns the sub-block at grid position (i, j).
+func (g *Grid) Block(i, j int) *Dense {
+	if i < 0 || i >= g.GridRows || j < 0 || j >= g.GridCols {
+		panic(fmt.Sprintf("matrix: grid index (%d,%d) out of range %dx%d", i, j, g.GridRows, g.GridCols))
+	}
+	return g.Blocks[i*g.GridCols+j]
+}
+
+// SetGridBlock replaces the sub-block at grid position (i, j).
+func (g *Grid) SetGridBlock(i, j int, b *Dense) {
+	if i < 0 || i >= g.GridRows || j < 0 || j >= g.GridCols {
+		panic(fmt.Sprintf("matrix: grid index (%d,%d) out of range %dx%d", i, j, g.GridRows, g.GridCols))
+	}
+	g.Blocks[i*g.GridCols+j] = b
+}
+
+// Assemble reconstitutes the full matrix from the grid of blocks.
+func (g *Grid) Assemble() *Dense {
+	if len(g.Blocks) == 0 {
+		return New(0, 0)
+	}
+	h, w := g.Blocks[0].Rows, g.Blocks[0].Cols
+	m := New(g.GridRows*h, g.GridCols*w)
+	for i := 0; i < g.GridRows; i++ {
+		for j := 0; j < g.GridCols; j++ {
+			b := g.Block(i, j)
+			if b.Rows != h || b.Cols != w {
+				panic(fmt.Sprintf("matrix: Assemble ragged block (%d,%d): %dx%d, want %dx%d", i, j, b.Rows, b.Cols, h, w))
+			}
+			m.SetBlock(i*h, j*w, b)
+		}
+	}
+	return m
+}
+
+// ColumnBands splits m into s vertical bands of equal width
+// (Berntsen's algorithm splits A this way, Section 4.4).
+func ColumnBands(m *Dense, s int) []*Dense {
+	if s <= 0 || m.Cols%s != 0 {
+		panic(fmt.Sprintf("matrix: ColumnBands(%d) does not divide %d columns", s, m.Cols))
+	}
+	w := m.Cols / s
+	out := make([]*Dense, s)
+	for i := range out {
+		out[i] = m.Block(0, i*w, m.Rows, w)
+	}
+	return out
+}
+
+// RowBands splits m into s horizontal bands of equal height
+// (Berntsen's algorithm splits B this way, Section 4.4).
+func RowBands(m *Dense, s int) []*Dense {
+	if s <= 0 || m.Rows%s != 0 {
+		panic(fmt.Sprintf("matrix: RowBands(%d) does not divide %d rows", s, m.Rows))
+	}
+	h := m.Rows / s
+	out := make([]*Dense, s)
+	for i := range out {
+		out[i] = m.Block(i*h, 0, h, m.Cols)
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+package matrix
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPartitionAssembleRoundTrip(t *testing.T) {
+	a := Random(12, 8, 50)
+	g := Partition(a, 3, 4)
+	if g.GridRows != 3 || g.GridCols != 4 {
+		t.Fatalf("grid %dx%d, want 3x4", g.GridRows, g.GridCols)
+	}
+	if b := g.Block(1, 2); b.Rows != 4 || b.Cols != 2 {
+		t.Fatalf("block shape %dx%d, want 4x2", b.Rows, b.Cols)
+	}
+	back := g.Assemble()
+	if MaxAbsDiff(a, back) != 0 {
+		t.Fatal("Partition/Assemble round trip lost data")
+	}
+}
+
+func TestPartitionBlockContents(t *testing.T) {
+	a := Random(6, 6, 51)
+	g := Partition(a, 2, 2)
+	want := a.Block(3, 0, 3, 3)
+	if MaxAbsDiff(g.Block(1, 0), want) != 0 {
+		t.Fatal("grid block (1,0) does not match matrix block")
+	}
+}
+
+func TestPartitionUnevenPanics(t *testing.T) {
+	defer expectPanic(t, "does not divide evenly")
+	Partition(New(5, 4), 2, 2)
+}
+
+func TestPartitionBadGridPanics(t *testing.T) {
+	defer expectPanic(t, "must be positive")
+	Partition(New(4, 4), 0, 2)
+}
+
+func TestGridIndexPanics(t *testing.T) {
+	g := Partition(New(4, 4), 2, 2)
+	defer expectPanic(t, "out of range")
+	g.Block(2, 0)
+}
+
+func TestSetGridBlock(t *testing.T) {
+	g := Partition(New(4, 4), 2, 2)
+	b := Identity(2)
+	g.SetGridBlock(0, 1, b)
+	m := g.Assemble()
+	if m.At(0, 2) != 1 || m.At(1, 3) != 1 {
+		t.Fatal("SetGridBlock did not land in assembled matrix")
+	}
+}
+
+func TestSetGridBlockPanics(t *testing.T) {
+	g := Partition(New(4, 4), 2, 2)
+	defer expectPanic(t, "out of range")
+	g.SetGridBlock(0, 2, Identity(2))
+}
+
+func TestAssembleRaggedPanics(t *testing.T) {
+	g := Partition(New(4, 4), 2, 2)
+	g.SetGridBlock(1, 1, New(1, 1))
+	defer expectPanic(t, "ragged block")
+	g.Assemble()
+}
+
+func TestAssembleEmpty(t *testing.T) {
+	g := &Grid{}
+	m := g.Assemble()
+	if m.Rows != 0 || m.Cols != 0 {
+		t.Fatalf("empty grid assembled to %dx%d", m.Rows, m.Cols)
+	}
+}
+
+func TestColumnBands(t *testing.T) {
+	a := Random(4, 6, 60)
+	bands := ColumnBands(a, 3)
+	if len(bands) != 3 {
+		t.Fatalf("len = %d, want 3", len(bands))
+	}
+	for i, b := range bands {
+		if b.Rows != 4 || b.Cols != 2 {
+			t.Fatalf("band %d shape %dx%d, want 4x2", i, b.Rows, b.Cols)
+		}
+	}
+	if bands[1].At(2, 0) != a.At(2, 2) {
+		t.Fatal("band content misaligned")
+	}
+}
+
+func TestRowBands(t *testing.T) {
+	a := Random(6, 4, 61)
+	bands := RowBands(a, 2)
+	if len(bands) != 2 || bands[0].Rows != 3 {
+		t.Fatalf("unexpected bands %v", bands)
+	}
+	if bands[1].At(0, 1) != a.At(3, 1) {
+		t.Fatal("row band content misaligned")
+	}
+}
+
+func TestBandsPanics(t *testing.T) {
+	t.Run("cols", func(t *testing.T) {
+		defer expectPanic(t, "does not divide")
+		ColumnBands(New(4, 5), 2)
+	})
+	t.Run("rows", func(t *testing.T) {
+		defer expectPanic(t, "does not divide")
+		RowBands(New(5, 4), 2)
+	})
+}
+
+// Property: the outer-product decomposition used by Berntsen's algorithm
+// is exact: C = Σ_i A_coli · B_rowi.
+func TestQuickOuterProductDecomposition(t *testing.T) {
+	f := func(seed1, seed2 uint64) bool {
+		a := RandomInts(6, 6, seed1)
+		b := RandomInts(6, 6, seed2)
+		want := Mul(a, b)
+		acc := New(6, 6)
+		ab := ColumnBands(a, 3)
+		bb := RowBands(b, 3)
+		for i := range ab {
+			acc.AddInPlace(Mul(ab[i], bb[i]))
+		}
+		return MaxAbsDiff(acc, want) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: block matrix multiply over a partition grid equals the flat
+// product — the foundational identity behind every algorithm in the
+// paper.
+func TestQuickBlockMultiplyIdentity(t *testing.T) {
+	f := func(seed1, seed2 uint64) bool {
+		const n, q = 8, 4
+		a := RandomInts(n, n, seed1)
+		b := RandomInts(n, n, seed2)
+		ga := Partition(a, q, q)
+		gb := Partition(b, q, q)
+		gc := Partition(New(n, n), q, q)
+		for i := 0; i < q; i++ {
+			for j := 0; j < q; j++ {
+				for k := 0; k < q; k++ {
+					MulAddInto(gc.Block(i, j), ga.Block(i, k), gb.Block(k, j))
+				}
+			}
+		}
+		return MaxAbsDiff(gc.Assemble(), Mul(a, b)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

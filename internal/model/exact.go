@@ -1,0 +1,195 @@
+package model
+
+import (
+	"math"
+
+	"matscale/internal/collective"
+	"matscale/internal/topology"
+)
+
+// The Exact* functions give the virtual time measured by the
+// implementations in internal/core, term for term. Where the paper's
+// printed equations drop lower-order terms (Berntsen's 1−1/s reduction
+// factor, Fox's shift startups) the exact forms keep them, so the
+// equation-validation tests can assert exact equality.
+//
+// All take integer n and p with the same divisibility requirements as
+// the implementations.
+
+func flopTerm(n, p int) float64 {
+	return float64(n) * float64(n) * float64(n) / float64(p)
+}
+
+// ExactSimpleTp: n³/p + 2·(ts·log₂√p + tw·(n²/p)·(√p−1)).
+func ExactSimpleTp(pr Params, n, p int) float64 {
+	q := topology.IntSqrt(p)
+	m := n * n / p
+	return flopTerm(n, p) + 2*collective.AllGatherTime(pr.Ts, pr.Tw, m, q)
+}
+
+// ExactCannonTp: n³/p + 2·√p·(ts + tw·n²/p); the rolls vanish on a
+// single processor.
+func ExactCannonTp(pr Params, n, p int) float64 {
+	if p == 1 {
+		return flopTerm(n, 1)
+	}
+	q := topology.IntSqrt(p)
+	m := float64(n * n / p)
+	return flopTerm(n, p) + 2*float64(q)*(pr.Ts+pr.Tw*m)
+}
+
+// ExactFoxTp: n³/p + √p·(log₂√p + 1)·(ts + tw·n²/p) — binomial row
+// broadcasts plus one shift per iteration, iterations in lockstep.
+func ExactFoxTp(pr Params, n, p int) float64 {
+	if p == 1 {
+		return flopTerm(n, 1)
+	}
+	q := topology.IntSqrt(p)
+	d, _ := topology.Log2(q)
+	m := float64(n * n / p)
+	return flopTerm(n, p) + float64(q)*float64(d+1)*(pr.Ts+pr.Tw*m)
+}
+
+// ExactFoxMeshTp: n³/p + ts·p + tw·n² — Fox's algorithm with
+// processor-to-processor row relays on a wraparound mesh, exactly the
+// expression Section 4.3 derives for the mesh architecture.
+func ExactFoxMeshTp(pr Params, n, p int) float64 {
+	if p == 1 {
+		return flopTerm(n, 1)
+	}
+	return flopTerm(n, p) + pr.Ts*float64(p) + pr.Tw*float64(n)*float64(n)
+}
+
+// ExactFoxPipelinedTp: n³/p + ts·(p + √p) + 2·tw·n²/√p — Eq. (4) plus
+// the shifts' startup term the paper drops.
+func ExactFoxPipelinedTp(pr Params, n, p int) float64 {
+	if p == 1 {
+		return flopTerm(n, 1)
+	}
+	q := topology.IntSqrt(p)
+	m := float64(n * n / p)
+	return flopTerm(n, p) + float64(q)*(pr.Ts*float64(q)+pr.Tw*m) + float64(q)*(pr.Ts+pr.Tw*m)
+}
+
+// ExactBerntsenTp: n³/p + 2·p^(1/3)·(ts + tw·n²/p) +
+// ts·log₂p^(1/3) + tw·(n²/p^(2/3))·(1 − p^(−1/3)).
+func ExactBerntsenTp(pr Params, n, p int) float64 {
+	s := topology.IntCbrt(p)
+	t := flopTerm(n, p)
+	if s > 1 {
+		t += 2 * float64(s) * (pr.Ts + pr.Tw*float64(n*n/p))
+		t += collective.ReduceScatterTime(pr.Ts, pr.Tw, n*n/(s*s), s)
+	}
+	return t
+}
+
+// ExactDNSTp is the measured time of DNSWithGrid: n³/p +
+// 5·log₂r·(ts + tw·bs²) + 2·u·(ts + tw·bs²), with r = p/g², u = g/r and
+// block side bs = n/g; the in-superprocessor rolls vanish when u = 1.
+func ExactDNSTp(pr Params, n, p, gridSide int) float64 {
+	r := p / (gridSide * gridSide)
+	u := gridSide / r
+	bs := n / gridSide
+	c := pr.Ts + pr.Tw*float64(bs*bs)
+	t := flopTerm(n, p)
+	if d, _ := topology.Log2(r); d > 0 {
+		t += 5 * float64(d) * c
+	}
+	if u > 1 {
+		t += 2 * float64(u) * c
+	}
+	return t
+}
+
+// ExactGKTp is the measured time of GK on a store-and-forward
+// hypercube: n³/p + 5·log₂p^(1/3)·(ts + tw·n²/p^(2/3)), which equals
+// Eq. (7) exactly.
+func ExactGKTp(pr Params, n, p int) float64 {
+	q := topology.IntCbrt(p)
+	d, _ := topology.Log2(q)
+	bs := n / q
+	return flopTerm(n, p) + 5*float64(d)*(pr.Ts+pr.Tw*float64(bs*bs))
+}
+
+// ExactGKCM5Tp is the measured time of GK on a fully connected
+// machine: n³/p + (log₂p + 2)·(ts + tw·n²/p^(2/3)), which equals
+// Eq. (18) exactly (the two routing phases are single hops).
+func ExactGKCM5Tp(pr Params, n, p int) float64 {
+	if p == 1 {
+		return flopTerm(n, 1)
+	}
+	q := topology.IntCbrt(p)
+	d, _ := topology.Log2(q)
+	bs := n / q
+	return flopTerm(n, p) + float64(3*d+2)*(pr.Ts+pr.Tw*float64(bs*bs))
+}
+
+// ExactGKImprovedTp: n³/p + 5·JH(ts, tw, n²/p^(2/3), p^(1/3)) — all
+// five stages use the Johnsson–Ho broadcast cost.
+func ExactGKImprovedTp(pr Params, n, p int) float64 {
+	q := topology.IntCbrt(p)
+	bs := n / q
+	return flopTerm(n, p) + 5*collective.JohnssonHoTime(pr.Ts, pr.Tw, bs*bs, q)
+}
+
+// ExactGKAllPortTp equals Eq. (17) by construction: the five stages are
+// charged one fifth of the all-port communication total each.
+func ExactGKAllPortTp(pr Params, n, p int) float64 {
+	if p == 1 {
+		return flopTerm(n, 1)
+	}
+	return PaperGKAllPortTp(pr, float64(n), float64(p))
+}
+
+// ExactSimpleAllPortTp: n³/p + ts·log₂√p + tw·(n²/p)·√p/log₂√p — the
+// charged all-port row gather; the column gather of B proceeds
+// simultaneously and free (Section 7.1). Equals Eq. (16).
+func ExactSimpleAllPortTp(pr Params, n, p int) float64 {
+	if p == 1 {
+		return flopTerm(n, 1)
+	}
+	q := topology.IntSqrt(p)
+	return flopTerm(n, p) + collective.AllPortAllGatherTime(pr.Ts, pr.Tw, n*n/p, q)
+}
+
+// NEqualTo solves To_x(n, p) = To_y(n, p) for n at fixed p by bisection
+// — the paper's n_EqualTo(p) threshold (Eq. 15 is the Cannon/GK
+// special case). It returns the n at which the two overheads cross and
+// ok=false when they do not cross in (1, nMax). Both overhead
+// functions must be monotone in n (every To in this package is).
+func NEqualTo(pr Params, toX, toY func(Params, float64, float64) float64, p, nMax float64) (float64, bool) {
+	diff := func(n float64) float64 { return toX(pr, n, p) - toY(pr, n, p) }
+	lo, hi := 1.0, nMax
+	dlo, dhi := diff(lo), diff(hi)
+	if dlo == 0 {
+		return lo, true
+	}
+	if (dlo < 0) == (dhi < 0) {
+		return 0, false
+	}
+	for i := 0; i < 200 && hi-lo > 1e-9*math.Max(1, lo); i++ {
+		mid := (lo + hi) / 2
+		if (diff(mid) < 0) == (dlo < 0) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, true
+}
+
+// ExactSimpleMemEffAllPortTp: n³/p + √p·(ts·log₂√p + tw·(n²/p)/log₂√p)
+// — the constant-storage all-port streaming variant in the spirit of
+// Ho–Johnsson–Edelman [18] (Section 7.1).
+func ExactSimpleMemEffAllPortTp(pr Params, n, p int) float64 {
+	if p == 1 {
+		return flopTerm(n, 1)
+	}
+	q := topology.IntSqrt(p)
+	d, _ := topology.Log2(q)
+	if d == 0 {
+		return flopTerm(n, p)
+	}
+	m := float64(n * n / p)
+	return flopTerm(n, p) + float64(q)*(pr.Ts*float64(d)+pr.Tw*m/float64(d))
+}

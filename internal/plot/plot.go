@@ -1,0 +1,89 @@
+// Package plot renders small ASCII line charts for the CLI: the
+// efficiency-vs-matrix-size figures of Section 9 and the scaling
+// curves, drawn the way the paper plots them but in a terminal.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name   string
+	Marker byte
+	X, Y   []float64
+}
+
+// Chart renders series over a shared axis grid.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot area columns (default 60)
+	Height int // plot area rows (default 16)
+	Series []Series
+}
+
+// Render draws the chart. Points from later series overwrite earlier
+// ones where they collide; axis ranges cover all series.
+func (c *Chart) Render() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 60
+	}
+	if h <= 0 {
+		h = 16
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return c.Title + "\n(no data)\n"
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for _, s := range c.Series {
+		for i := range s.X {
+			col := int((s.X[i] - xmin) / (xmax - xmin) * float64(w-1))
+			row := int((s.Y[i] - ymin) / (ymax - ymin) * float64(h-1))
+			grid[h-1-row][col] = s.Marker
+		}
+	}
+
+	var sb strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", c.Title)
+	}
+	for r, line := range grid {
+		yVal := ymax - (ymax-ymin)*float64(r)/float64(h-1)
+		fmt.Fprintf(&sb, "%8.3f |%s|\n", yVal, line)
+	}
+	fmt.Fprintf(&sb, "%8s +%s+\n", "", strings.Repeat("-", w))
+	fmt.Fprintf(&sb, "%8s  %-*.4g%*.4g\n", "", w/2, xmin, w-w/2, xmax)
+	if c.XLabel != "" || len(c.Series) > 0 {
+		fmt.Fprintf(&sb, "%8s  %s   legend:", "", c.XLabel)
+		for _, s := range c.Series {
+			fmt.Fprintf(&sb, " %c=%s", s.Marker, s.Name)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,61 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	ch := &Chart{
+		Title:  "test chart",
+		XLabel: "n",
+		Width:  20,
+		Height: 6,
+		Series: []Series{
+			{Name: "up", Marker: '*', X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}},
+			{Name: "down", Marker: 'o', X: []float64{0, 1, 2, 3}, Y: []float64{3, 2, 1, 0}},
+		},
+	}
+	s := ch.Render()
+	for _, frag := range []string{"test chart", "*", "o", "legend:", "*=up", "o=down"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("render missing %q:\n%s", frag, s)
+		}
+	}
+	lines := strings.Split(s, "\n")
+	if len(lines) < 9 { // title + 6 rows + axis + labels
+		t.Fatalf("only %d lines:\n%s", len(lines), s)
+	}
+	// The rising series ends top-right: last row of the plot area has a
+	// marker near the left (low y at low... the falling series), and
+	// the first plot row has one near the right.
+	if !strings.Contains(lines[1], "*") {
+		t.Errorf("top row lacks the rising series:\n%s", s)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	ch := &Chart{Title: "empty"}
+	if s := ch.Render(); !strings.Contains(s, "no data") {
+		t.Fatalf("empty chart render = %q", s)
+	}
+}
+
+func TestRenderDegenerateRanges(t *testing.T) {
+	ch := &Chart{
+		Width: 10, Height: 4,
+		Series: []Series{{Name: "pt", Marker: 'x', X: []float64{5}, Y: []float64{2}}},
+	}
+	s := ch.Render()
+	if !strings.Contains(s, "x") {
+		t.Fatalf("single point not plotted:\n%s", s)
+	}
+}
+
+func TestRenderDefaultDimensions(t *testing.T) {
+	ch := &Chart{Series: []Series{{Name: "a", Marker: '.', X: []float64{0, 1}, Y: []float64{0, 1}}}}
+	s := ch.Render()
+	if len(strings.Split(s, "\n")) < 16 {
+		t.Fatalf("default height not applied:\n%s", s)
+	}
+}

@@ -1,0 +1,145 @@
+package shm
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"matscale/internal/matrix"
+)
+
+func TestMulMatchesSerial(t *testing.T) {
+	for _, c := range []struct{ n, workers, tile int }{
+		{1, 1, 1}, {7, 2, 3}, {16, 4, 8}, {33, 3, 16}, {64, 0, 0}, {50, 100, 64},
+	} {
+		a := matrix.RandomInts(c.n, c.n, uint64(c.n))
+		b := matrix.RandomInts(c.n, c.n, uint64(c.n)+9)
+		got := Mul(a, b, c.workers, c.tile)
+		want := matrix.Mul(a, b)
+		if d := matrix.MaxAbsDiff(got, want); d != 0 {
+			t.Fatalf("n=%d workers=%d tile=%d: differs by %v", c.n, c.workers, c.tile, d)
+		}
+	}
+}
+
+func TestMulRectangular(t *testing.T) {
+	a := matrix.RandomInts(13, 29, 5)
+	b := matrix.RandomInts(29, 7, 6)
+	got := Mul(a, b, 3, 8)
+	if d := matrix.MaxAbsDiff(got, matrix.Mul(a, b)); d != 0 {
+		t.Fatalf("rectangular product differs by %v", d)
+	}
+}
+
+func TestMulEmpty(t *testing.T) {
+	c := Mul(matrix.New(0, 5), matrix.New(5, 3), 4, 16)
+	if c.Rows != 0 || c.Cols != 3 {
+		t.Fatalf("empty product shape %dx%d", c.Rows, c.Cols)
+	}
+}
+
+func TestMulDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(r.(string), "mismatch") {
+			t.Fatalf("panic = %v", r)
+		}
+	}()
+	Mul(matrix.New(2, 3), matrix.New(2, 3), 1, 1)
+}
+
+// Property: worker count never changes the result for integer inputs.
+func TestQuickWorkerInvariance(t *testing.T) {
+	f := func(seed uint64, w1, w2 uint8) bool {
+		a := matrix.RandomInts(17, 17, seed)
+		b := matrix.RandomInts(17, 17, seed+1)
+		r1 := Mul(a, b, int(w1%8)+1, 8)
+		r2 := Mul(a, b, int(w2%8)+1, 32)
+		return matrix.MaxAbsDiff(r1, r2) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCannonParallelMatchesSerial(t *testing.T) {
+	for _, c := range []struct{ n, q int }{{4, 1}, {8, 2}, {12, 3}, {16, 4}, {20, 5}} {
+		a := matrix.RandomInts(c.n, c.n, uint64(c.n))
+		b := matrix.RandomInts(c.n, c.n, uint64(c.n)+7)
+		got, err := CannonParallel(a, b, c.q)
+		if err != nil {
+			t.Fatalf("n=%d q=%d: %v", c.n, c.q, err)
+		}
+		if d := matrix.MaxAbsDiff(got, matrix.Mul(a, b)); d != 0 {
+			t.Fatalf("n=%d q=%d: differs by %v", c.n, c.q, d)
+		}
+	}
+}
+
+func TestCannonParallelErrors(t *testing.T) {
+	if _, err := CannonParallel(matrix.New(4, 5), matrix.New(5, 4), 2); err == nil {
+		t.Error("rectangular input accepted")
+	}
+	if _, err := CannonParallel(matrix.New(4, 4), matrix.New(4, 4), 3); err == nil {
+		t.Error("indivisible mesh accepted")
+	}
+	if _, err := CannonParallel(matrix.New(4, 4), matrix.New(4, 4), 0); err == nil {
+		t.Error("zero mesh accepted")
+	}
+}
+
+func TestQuickCannonParallelAgreesWithRowParallel(t *testing.T) {
+	f := func(seed uint64) bool {
+		a := matrix.RandomInts(12, 12, seed)
+		b := matrix.RandomInts(12, 12, seed+1)
+		viaCannon, err := CannonParallel(a, b, 4)
+		if err != nil {
+			return false
+		}
+		viaRows := Mul(a, b, 4, 8)
+		return matrix.MaxAbsDiff(viaCannon, viaRows) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSUMMAMatchesSerial(t *testing.T) {
+	for _, c := range []struct{ n, q int }{{4, 1}, {8, 2}, {12, 3}, {16, 4}} {
+		a := matrix.RandomInts(c.n, c.n, uint64(c.n)+30)
+		b := matrix.RandomInts(c.n, c.n, uint64(c.n)+31)
+		got, err := SUMMA(a, b, c.q)
+		if err != nil {
+			t.Fatalf("n=%d q=%d: %v", c.n, c.q, err)
+		}
+		if d := matrix.MaxAbsDiff(got, matrix.Mul(a, b)); d != 0 {
+			t.Fatalf("n=%d q=%d: differs by %v", c.n, c.q, d)
+		}
+	}
+}
+
+func TestSUMMAErrors(t *testing.T) {
+	if _, err := SUMMA(matrix.New(4, 5), matrix.New(5, 4), 2); err == nil {
+		t.Error("rectangular input accepted")
+	}
+	if _, err := SUMMA(matrix.New(4, 4), matrix.New(4, 4), 3); err == nil {
+		t.Error("indivisible mesh accepted")
+	}
+}
+
+// All three real message-passing implementations agree with each other.
+func TestQuickThreeWayAgreement(t *testing.T) {
+	f := func(seed uint64) bool {
+		a := matrix.RandomInts(16, 16, seed)
+		b := matrix.RandomInts(16, 16, seed+1)
+		viaSUMMA, err1 := SUMMA(a, b, 4)
+		viaCannon, err2 := CannonParallel(a, b, 4)
+		viaRows := Mul(a, b, 4, 8)
+		return err1 == nil && err2 == nil &&
+			matrix.MaxAbsDiff(viaSUMMA, viaCannon) == 0 &&
+			matrix.MaxAbsDiff(viaSUMMA, viaRows) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

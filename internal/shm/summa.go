@@ -1,0 +1,93 @@
+package shm
+
+import (
+	"fmt"
+	"sync"
+
+	"matscale/internal/matrix"
+)
+
+// taggedBlock is a block published for use at step K.
+type taggedBlock struct {
+	K   int
+	Blk *matrix.Dense
+}
+
+// SUMMA multiplies two n×n matrices with the broadcast-based algorithm
+// that descends directly from the paper's simple/Fox family (van de
+// Geijn & Watts' SUMMA, the formulation modern libraries standardized
+// on): q×q goroutine workers; in step k the owners of the A blocks in
+// mesh column k and of the B blocks in mesh row k broadcast them to
+// their row and column peers over channels, and every worker
+// accumulates one outer-product contribution. Blocks are shared
+// read-only after publication, so broadcasting a pointer is safe and
+// allocation-free. Owners publish ahead (buffered channels), which
+// pipelines the broadcasts exactly like the asynchronous execution of
+// Section 4.3. q must divide n.
+func SUMMA(a, b *matrix.Dense, q int) (*matrix.Dense, error) {
+	if !a.IsSquare() || !b.IsSquare() || a.Rows != b.Rows {
+		return nil, fmt.Errorf("shm: SUMMA needs equal square matrices, got %dx%d and %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	n := a.Rows
+	if q <= 0 || n%q != 0 {
+		return nil, fmt.Errorf("shm: mesh side %d does not divide n = %d", q, n)
+	}
+	ga := matrix.Partition(a, q, q)
+	gb := matrix.Partition(b, q, q)
+
+	// aIn[i][j] delivers A blocks (tagged with their step) to worker
+	// (i, j); capacity q lets owners publish ahead without blocking.
+	aIn := make([][]chan taggedBlock, q)
+	bIn := make([][]chan taggedBlock, q)
+	for i := 0; i < q; i++ {
+		aIn[i] = make([]chan taggedBlock, q)
+		bIn[i] = make([]chan taggedBlock, q)
+		for j := 0; j < q; j++ {
+			aIn[i][j] = make(chan taggedBlock, q)
+			bIn[i][j] = make(chan taggedBlock, q)
+		}
+	}
+
+	bs := n / q
+	c := matrix.New(n, n)
+	var wg sync.WaitGroup
+	wg.Add(q * q)
+	for i := 0; i < q; i++ {
+		for j := 0; j < q; j++ {
+			go func(i, j int) {
+				defer wg.Done()
+				// Publish what this worker owns: its A block is needed
+				// by its row at step j, its B block by its column at
+				// step i.
+				for peer := 0; peer < q; peer++ {
+					if peer != j {
+						aIn[i][peer] <- taggedBlock{K: j, Blk: ga.Block(i, j)}
+					}
+					if peer != i {
+						bIn[peer][j] <- taggedBlock{K: i, Blk: gb.Block(i, j)}
+					}
+				}
+				// Collect the incoming blocks by step.
+				aByStep := make([]*matrix.Dense, q)
+				bByStep := make([]*matrix.Dense, q)
+				aByStep[j] = ga.Block(i, j)
+				bByStep[i] = gb.Block(i, j)
+				for r := 0; r < q-1; r++ {
+					t := <-aIn[i][j]
+					aByStep[t.K] = t.Blk
+				}
+				for r := 0; r < q-1; r++ {
+					t := <-bIn[i][j]
+					bByStep[t.K] = t.Blk
+				}
+				acc := matrix.New(bs, bs)
+				for k := 0; k < q; k++ {
+					matrix.MulAddInto(acc, aByStep[k], bByStep[k])
+				}
+				c.SetBlock(i*bs, j*bs, acc)
+			}(i, j)
+		}
+	}
+	wg.Wait()
+	return c, nil
+}

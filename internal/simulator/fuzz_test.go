@@ -1,0 +1,119 @@
+package simulator
+
+import (
+	"testing"
+	"testing/quick"
+
+	"matscale/internal/machine"
+)
+
+// randomProgram builds a deterministic, deadlock-free message-passing
+// program from a seed: R rounds, each a permutation route (send to
+// rank+stride, receive from rank−stride) with seed-derived compute and
+// message sizes. Every send happens before the matching receive is
+// awaited, so the program can never deadlock.
+func randomProgram(seed uint64, p, rounds int) func(*Proc) {
+	return func(pr *Proc) {
+		state := seed ^ uint64(pr.Rank())*0x9e3779b97f4a7c15
+		next := func() uint64 {
+			state = state*6364136223846793005 + 1442695040888963407
+			return state >> 33
+		}
+		for r := 0; r < rounds; r++ {
+			stride := int(seed>>uint(r%8))%(p-1) + 1
+			words := int(next() % 64)
+			pr.Compute(float64(next() % 1000))
+			pr.Send((pr.Rank()+stride)%p, r, make([]float64, words))
+			pr.Recv((pr.Rank()+p-stride)%p, r)
+		}
+	}
+}
+
+// Property: random permutation-routing programs always complete, are
+// deterministic in virtual time, and conserve messages.
+func TestQuickRandomProgramsComplete(t *testing.T) {
+	f := func(seedRaw uint16, pExp uint8) bool {
+		seed := uint64(seedRaw) + 1
+		p := 1 << (2 + pExp%4) // 4..32 processors
+		const rounds = 6
+		m := machine.Hypercube(p, 7, 2)
+		first, err := Run(m, randomProgram(seed, p, rounds))
+		if err != nil {
+			t.Logf("seed %d p %d: %v", seed, p, err)
+			return false
+		}
+		if first.Messages != p*rounds {
+			t.Logf("seed %d p %d: %d messages, want %d", seed, p, first.Messages, p*rounds)
+			return false
+		}
+		again, err := Run(m, randomProgram(seed, p, rounds))
+		if err != nil || again.Tp != first.Tp || again.Words != first.Words {
+			t.Logf("seed %d p %d: nondeterministic (%v vs %v)", seed, p, again.Tp, first.Tp)
+			return false
+		}
+		// Tp can never be below any processor's own busy time.
+		for i := range first.ProcClocks {
+			if first.ProcClocks[i] > first.Tp {
+				return false
+			}
+			if first.ProcCompute[i]+first.ProcComm[i] > first.ProcClocks[i]+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: inserting zero-cost barriers anywhere in a program never
+// changes the data outcome and never *reduces* the measured Tp.
+func TestQuickBarriersOnlySlowDown(t *testing.T) {
+	f := func(seedRaw uint16) bool {
+		seed := uint64(seedRaw) + 1
+		const p, rounds = 8, 4
+		m := machine.Hypercube(p, 5, 1)
+		plain, err := Run(m, randomProgram(seed, p, rounds))
+		if err != nil {
+			return false
+		}
+		group := make([]int, p)
+		for i := range group {
+			group[i] = i
+		}
+		barriered, err := Run(m, func(pr *Proc) {
+			state := seed ^ uint64(pr.Rank())*0x9e3779b97f4a7c15
+			next := func() uint64 {
+				state = state*6364136223846793005 + 1442695040888963407
+				return state >> 33
+			}
+			for r := 0; r < rounds; r++ {
+				stride := int(seed>>uint(r%8))%(p-1) + 1
+				words := int(next() % 64)
+				pr.Compute(float64(next() % 1000))
+				pr.Send((pr.Rank()+stride)%p, r, make([]float64, words))
+				pr.Recv((pr.Rank()+p-stride)%p, r)
+				// Zero-cost barrier after each round.
+				if pr.Rank() == 0 {
+					for i := 1; i < p; i++ {
+						pr.Recv(i, 1000+r)
+					}
+					for i := 1; i < p; i++ {
+						pr.SendFree(i, 2000+r, nil)
+					}
+				} else {
+					pr.SendFree(0, 1000+r, nil)
+					pr.Recv(0, 2000+r)
+				}
+			}
+		})
+		if err != nil {
+			return false
+		}
+		return barriered.Tp >= plain.Tp-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

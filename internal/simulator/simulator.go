@@ -1,0 +1,499 @@
+// Package simulator executes message-passing parallel programs on a
+// virtual-time multicomputer.
+//
+// Each processor is a goroutine with a local virtual clock measured in
+// flop units (one multiply-add = 1, Section 2 of the paper). Sends and
+// receives move real data between processors and advance the clocks
+// according to the machine's ts/tw cost model, so the measured parallel
+// execution time Tp, total overhead To = p·Tp − W and efficiency
+// E = W/(p·Tp) reproduce the paper's analytical model while the
+// computation itself is performed for real and can be checked against
+// the serial algorithm.
+//
+// Timing contract (documented in DESIGN.md):
+//
+//   - Compute(f) advances the local clock by f.
+//   - Send charges the sender the full transfer time (per hop under
+//     store-and-forward routing) and stamps the message with the
+//     sender's clock after the send.
+//   - Recv waits for the matching (src, tag) message and advances the
+//     local clock to max(local clock, message arrival time). Receiving
+//     charges nothing beyond the stamp: the transfer was paid for once,
+//     by the sender, which is how the paper counts one shift of
+//     Cannon's algorithm as a single ts + tw·m.
+//   - A Send immediately followed by a Recv from the opposite neighbor
+//     therefore models the simultaneous exchange of a shift step.
+//   - SendFree moves data at zero virtual cost. It exists only for
+//     steps whose cost the paper explicitly ignores (Cannon's initial
+//     alignment on a cut-through hypercube, Section 4.2) and for
+//     gathering results for verification after timing stops.
+//   - SendMulti charges the sender max(cost of each transfer) — the
+//     all-port regime of Section 7 — when the machine is AllPort, and
+//     the sum when it is one-port.
+//   - ChargedSend sends with an explicitly supplied virtual cost. The
+//     collective package uses it for communication operations whose
+//     cost the paper takes from the literature as a closed form
+//     (Johnsson–Ho broadcast) rather than deriving step by step.
+//
+// Messages are matched by (source, tag). Matching is deterministic:
+// messages between the same pair with the same tag are consumed in
+// send order, so the virtual times of a run are reproducible
+// regardless of goroutine scheduling.
+//
+// The runtime detects deadlock (every live processor blocked in Recv)
+// and converts processor panics into errors, releasing the remaining
+// processors.
+package simulator
+
+import (
+	"fmt"
+	"sync"
+
+	"matscale/internal/machine"
+)
+
+type msgKey struct {
+	dst, src, tag int
+}
+
+type message struct {
+	data    []float64
+	arrival float64
+}
+
+// run is the shared state of one simulation.
+type run struct {
+	mach *machine.Machine
+	p    int
+
+	mu       sync.Mutex
+	conds    []*sync.Cond // one per rank, all on mu: deliveries signal only the destination
+	queues   map[msgKey][]message
+	inFlight int            // messages sent but not yet received
+	alive    int            // processors still executing
+	waiting  map[int]msgKey // blocked receivers and the key each wants
+	failed   error
+
+	// links tracks per-directed-link busy-until virtual times when the
+	// machine has TrackContention set.
+	links map[[2]int]float64
+}
+
+// traverseLocked advances a message over route (starting at src at
+// virtual time t), serializing on busy links, and returns the arrival
+// time. hopCost is charged per hop under store-and-forward; under
+// cut-through the whole path is claimed for one transfer time.
+// Callers must hold r.mu.
+func (r *run) traverseLocked(src int, route []int, t float64, words int) float64 {
+	m := r.mach
+	if m.Routing == machine.CutThrough {
+		per := m.MsgTimeHops(words, len(route))
+		start := t
+		prev := src
+		for _, node := range route {
+			l := [2]int{prev, node}
+			if r.links[l] > start {
+				start = r.links[l]
+			}
+			prev = node
+		}
+		finish := start + per
+		prev = src
+		for _, node := range route {
+			r.links[[2]int{prev, node}] = finish
+			prev = node
+		}
+		return finish
+	}
+	hop := m.MsgTimeHops(words, 1)
+	prev := src
+	for _, node := range route {
+		l := [2]int{prev, node}
+		if r.links[l] > t {
+			t = r.links[l]
+		}
+		t += hop
+		r.links[l] = t
+		prev = node
+	}
+	return t
+}
+
+// wakeAllLocked wakes every blocked receiver (used on failure and on
+// processor exit, where any waiter may need to re-examine the state).
+func (r *run) wakeAllLocked() {
+	for _, c := range r.conds {
+		c.Signal()
+	}
+}
+
+// deadlockedLocked reports whether the simulation can make no further
+// progress: every live processor is blocked in Recv and none of the
+// wanted messages is queued. A queued match means the waiter has been
+// (or is about to be) woken, so the state is not stable. Callers must
+// hold r.mu.
+func (r *run) deadlockedLocked() bool {
+	if len(r.waiting) != r.alive || r.alive == 0 {
+		return false
+	}
+	for _, k := range r.waiting {
+		if len(r.queues[k]) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Proc is the handle a processor body uses to communicate and compute.
+// A Proc is owned by exactly one goroutine and must not be shared.
+type Proc struct {
+	rank int
+	r    *run
+
+	clock          float64
+	computeTime    float64
+	commTime       float64
+	contentionWait float64
+	msgs           int
+	words          int
+
+	tracing bool
+	trace   []Event
+}
+
+func (p *Proc) record(e Event) {
+	if p.tracing {
+		e.Rank = p.rank
+		p.trace = append(p.trace, e)
+	}
+}
+
+// Rank returns this processor's rank in [0, P).
+func (p *Proc) Rank() int { return p.rank }
+
+// P returns the number of processors in the machine.
+func (p *Proc) P() int { return p.r.p }
+
+// Machine returns the machine the program is running on.
+func (p *Proc) Machine() *machine.Machine { return p.r.mach }
+
+// Clock returns the processor's current virtual time.
+func (p *Proc) Clock() float64 { return p.clock }
+
+// Compute advances the virtual clock by flops unit operations.
+func (p *Proc) Compute(flops float64) {
+	if flops < 0 {
+		panic(fmt.Sprintf("simulator: negative compute time %v", flops))
+	}
+	start := p.clock
+	p.clock += flops
+	p.computeTime += flops
+	p.record(Event{Kind: EventCompute, Peer: -1, Tag: -1, Start: start, End: p.clock})
+}
+
+// Send transfers data to dst with the machine-defined cost and tags it
+// for matching. On a contention-tracking machine the message claims
+// its route's links and waits for any it finds busy.
+func (p *Proc) Send(dst, tag int, data []float64) {
+	if p.r.mach.TrackContention && dst != p.rank {
+		p.sendContended(dst, tag, data, p.r.mach.Route(p.rank, dst))
+		return
+	}
+	cost := p.r.mach.MsgTime(len(data), p.rank, dst)
+	p.sendInternal(dst, tag, data, cost)
+}
+
+// sendContended routes the message link by link, serializing on busy
+// links; the sender is charged the full (possibly delayed) transfer
+// and the excess over the contention-free cost is recorded.
+func (p *Proc) sendContended(dst, tag int, data []float64, route []int) {
+	r := p.r
+	r.mu.Lock()
+	arrival := r.traverseLocked(p.rank, route, p.clock, len(data))
+	r.mu.Unlock()
+	cost := arrival - p.clock
+	p.contentionWait += cost - r.mach.MsgTimeHops(len(data), len(route))
+	p.sendInternal(dst, tag, data, cost)
+}
+
+// SendFree transfers data at zero virtual cost. See the package comment
+// for the narrow set of legitimate uses.
+func (p *Proc) SendFree(dst, tag int, data []float64) {
+	p.sendInternal(dst, tag, data, 0)
+}
+
+// SendNeighbor transfers data to dst charging a single-hop transfer,
+// ts + tw·m, independent of the rank distance in the machine topology.
+// It models transfers between logical neighbors — wraparound-mesh shift
+// partners and tree partners within subcube-aligned groups — which are
+// physical hypercube neighbors under the standard embeddings the paper
+// assumes (Gray-code rings, bit-field subcubes). A send to self is
+// free.
+func (p *Proc) SendNeighbor(dst, tag int, data []float64) {
+	if dst != p.rank && p.r.mach.TrackContention {
+		p.sendContended(dst, tag, data, []int{dst})
+		return
+	}
+	var cost float64
+	if dst != p.rank {
+		cost = p.r.mach.MsgTimeHops(len(data), 1)
+	}
+	p.sendInternal(dst, tag, data, cost)
+}
+
+// ExchangeNeighbor is Exchange with single-hop neighbor charging.
+func (p *Proc) ExchangeNeighbor(partner, tag int, data []float64) []float64 {
+	p.SendNeighbor(partner, tag, data)
+	return p.Recv(partner, tag)
+}
+
+// ChargedSend transfers data charging exactly cost virtual time units,
+// for collectives whose aggregate cost is modeled in closed form.
+func (p *Proc) ChargedSend(dst, tag int, data []float64, cost float64) {
+	if cost < 0 {
+		panic(fmt.Sprintf("simulator: negative send cost %v", cost))
+	}
+	p.sendInternal(dst, tag, data, cost)
+}
+
+// Transfer names one destination of a SendMulti.
+type Transfer struct {
+	Dst, Tag int
+	Data     []float64
+}
+
+// SendMulti sends several messages "at once". On an all-port machine
+// the sender is charged the maximum individual cost (all channels run
+// simultaneously, Section 7); on a one-port machine the costs add.
+func (p *Proc) SendMulti(ts []Transfer) {
+	var total, max float64
+	for _, t := range ts {
+		c := p.r.mach.MsgTime(len(t.Data), p.rank, t.Dst)
+		total += c
+		if c > max {
+			max = c
+		}
+	}
+	charge := total
+	if p.r.mach.AllPort {
+		charge = max
+	}
+	start := p.clock
+	words := 0
+	for _, t := range ts {
+		words += len(t.Data)
+	}
+	p.clock += charge
+	p.commTime += charge
+	if charge > 0 {
+		p.record(Event{Kind: EventSend, Peer: -1, Tag: -1, Words: words, Start: start, End: p.clock})
+	}
+	for _, t := range ts {
+		p.deliver(t.Dst, t.Tag, t.Data)
+	}
+}
+
+func (p *Proc) sendInternal(dst, tag int, data []float64, cost float64) {
+	start := p.clock
+	p.clock += cost
+	p.commTime += cost
+	if cost > 0 {
+		p.record(Event{Kind: EventSend, Peer: dst, Tag: tag, Words: len(data), Start: start, End: p.clock})
+	}
+	p.deliver(dst, tag, data)
+}
+
+func (p *Proc) deliver(dst, tag int, data []float64) {
+	if dst < 0 || dst >= p.r.p {
+		panic(fmt.Sprintf("simulator: send to rank %d outside [0,%d)", dst, p.r.p))
+	}
+	p.msgs++
+	p.words += len(data)
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	k := msgKey{dst: dst, src: p.rank, tag: tag}
+	r := p.r
+	r.mu.Lock()
+	r.queues[k] = append(r.queues[k], message{data: cp, arrival: p.clock})
+	r.inFlight++
+	r.conds[dst].Signal()
+	r.mu.Unlock()
+}
+
+// Recv blocks until the matching message from src with the given tag
+// arrives, then advances the clock to the message's arrival time if it
+// is later than the local clock.
+func (p *Proc) Recv(src, tag int) []float64 {
+	if src < 0 || src >= p.r.p {
+		panic(fmt.Sprintf("simulator: recv from rank %d outside [0,%d)", src, p.r.p))
+	}
+	k := msgKey{dst: p.rank, src: src, tag: tag}
+	r := p.r
+	r.mu.Lock()
+	for len(r.queues[k]) == 0 {
+		if r.failed != nil {
+			err := r.failed
+			r.mu.Unlock()
+			panic(abort{err})
+		}
+		r.waiting[p.rank] = k
+		if r.deadlockedLocked() {
+			r.failed = fmt.Errorf("simulator: deadlock: all %d live processors blocked in Recv (rank %d waiting for src=%d tag=%d)", r.alive, p.rank, src, tag)
+			delete(r.waiting, p.rank)
+			err := r.failed
+			r.wakeAllLocked()
+			r.mu.Unlock()
+			panic(abort{err})
+		}
+		r.conds[p.rank].Wait()
+		delete(r.waiting, p.rank)
+	}
+	m := r.queues[k][0]
+	r.queues[k] = r.queues[k][1:]
+	if len(r.queues[k]) == 0 {
+		delete(r.queues, k)
+	}
+	r.inFlight--
+	r.mu.Unlock()
+	if m.arrival > p.clock {
+		p.record(Event{Kind: EventIdle, Peer: src, Tag: tag, Start: p.clock, End: m.arrival})
+		p.clock = m.arrival
+	}
+	p.record(Event{Kind: EventRecv, Peer: src, Tag: tag, Words: len(m.data), Start: p.clock, End: p.clock})
+	return m.data
+}
+
+// Exchange sends data to partner and receives the partner's
+// same-tagged message, modeling the simultaneous bidirectional
+// transfer of a shift or recursive-doubling step.
+func (p *Proc) Exchange(partner, tag int, data []float64) []float64 {
+	p.Send(partner, tag, data)
+	return p.Recv(partner, tag)
+}
+
+// abort wraps an error that should terminate the processor body
+// without being reported as a fresh panic.
+type abort struct{ err error }
+
+// Result reports the outcome of a simulation.
+type Result struct {
+	P  int
+	Tp float64 // parallel execution time: max over processors of final clock
+
+	ProcClocks   []float64 // final virtual time of each processor
+	ProcCompute  []float64 // per-processor busy time spent computing
+	ProcComm     []float64 // per-processor busy time spent communicating
+	TotalCompute float64   // Σ per-processor compute time
+	TotalComm    float64   // Σ per-processor communication time
+	Messages     int       // total messages sent
+	Words        int       // total words moved
+	// ContentionWait is the total time senders spent waiting for busy
+	// links (zero unless the machine has TrackContention set; zero on
+	// contention-tracking machines for the paper's algorithms, whose
+	// routes are link-disjoint by construction).
+	ContentionWait float64
+}
+
+// IdleTime returns the total idle time across processors relative to
+// the parallel completion time: Σᵢ (Tp − computeᵢ − commᵢ). Together
+// with TotalComm it decomposes the overhead To = p·Tp − W into its
+// communication and idle/imbalance components (Section 2's "idle time
+// due to synchronization").
+func (r *Result) IdleTime() float64 {
+	return float64(r.P)*r.Tp - r.TotalCompute - r.TotalComm
+}
+
+// Overhead returns To = p·Tp − W (Section 2).
+func (r *Result) Overhead(w float64) float64 { return float64(r.P)*r.Tp - w }
+
+// Speedup returns S = W / Tp.
+func (r *Result) Speedup(w float64) float64 { return w / r.Tp }
+
+// Efficiency returns E = W / (p·Tp).
+func (r *Result) Efficiency(w float64) float64 { return w / (float64(r.P) * r.Tp) }
+
+// Run executes body on every processor of m concurrently and collects
+// timing. It returns an error if any processor panics, if the program
+// deadlocks, or if messages are left unconsumed at exit.
+func Run(m *machine.Machine, body func(*Proc)) (*Result, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return runInternal(m, body, nil)
+}
+
+func runInternal(m *machine.Machine, body func(*Proc), collector *traceCollector) (*Result, error) {
+	p := m.P()
+	r := &run{mach: m, p: p, queues: make(map[msgKey][]message), waiting: make(map[int]msgKey), alive: p}
+	if m.TrackContention {
+		r.links = make(map[[2]int]float64)
+	}
+	r.conds = make([]*sync.Cond, p)
+	for i := range r.conds {
+		r.conds[i] = sync.NewCond(&r.mu)
+	}
+
+	procs := make([]*Proc, p)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for i := 0; i < p; i++ {
+		procs[i] = &Proc{rank: i, r: r, tracing: collector != nil}
+		go func(pr *Proc) {
+			defer wg.Done()
+			defer func() {
+				rec := recover()
+				r.mu.Lock()
+				r.alive--
+				if rec != nil {
+					if _, isAbort := rec.(abort); !isAbort && r.failed == nil {
+						r.failed = fmt.Errorf("simulator: processor %d panicked: %v", pr.rank, rec)
+					}
+				}
+				// A processor exiting may starve blocked receivers.
+				if r.failed == nil && r.deadlockedLocked() {
+					r.failed = fmt.Errorf("simulator: deadlock: %d processors blocked after rank %d exited", len(r.waiting), pr.rank)
+				}
+				if r.failed != nil {
+					r.wakeAllLocked()
+				}
+				r.mu.Unlock()
+			}()
+			body(pr)
+		}(procs[i])
+	}
+	wg.Wait()
+
+	if r.failed != nil {
+		return nil, r.failed
+	}
+	if r.inFlight != 0 {
+		return nil, fmt.Errorf("simulator: %d messages left unconsumed at exit", r.inFlight)
+	}
+
+	res := &Result{
+		P:           p,
+		ProcClocks:  make([]float64, p),
+		ProcCompute: make([]float64, p),
+		ProcComm:    make([]float64, p),
+	}
+	for i, pr := range procs {
+		res.ProcClocks[i] = pr.clock
+		res.ProcCompute[i] = pr.computeTime
+		res.ProcComm[i] = pr.commTime
+		if pr.clock > res.Tp {
+			res.Tp = pr.clock
+		}
+		res.TotalCompute += pr.computeTime
+		res.TotalComm += pr.commTime
+		res.ContentionWait += pr.contentionWait
+		res.Messages += pr.msgs
+		res.Words += pr.words
+	}
+	if collector != nil {
+		collector.perProc = make([][]Event, p)
+		for i, pr := range procs {
+			collector.perProc[i] = pr.trace
+		}
+	}
+	return res, nil
+}

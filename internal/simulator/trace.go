@@ -1,0 +1,145 @@
+package simulator
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"matscale/internal/machine"
+)
+
+// EventKind classifies a traced processor event.
+type EventKind int
+
+const (
+	// EventCompute is local arithmetic.
+	EventCompute EventKind = iota
+	// EventSend is a charged outgoing transfer.
+	EventSend
+	// EventIdle is time spent blocked waiting for a message.
+	EventIdle
+	// EventRecv marks a message consumption (zero duration; the wait,
+	// if any, is the preceding EventIdle).
+	EventRecv
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventCompute:
+		return "compute"
+	case EventSend:
+		return "send"
+	case EventIdle:
+		return "idle"
+	case EventRecv:
+		return "recv"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one interval in a processor's virtual-time history.
+type Event struct {
+	Rank  int
+	Kind  EventKind
+	Peer  int // counterpart rank for send/recv, -1 otherwise
+	Tag   int // message tag for send/recv
+	Words int
+	Start float64
+	End   float64
+}
+
+// Trace is the ordered event history of a simulation.
+type Trace struct {
+	P      int
+	Tp     float64
+	Events []Event // ordered by (Rank, Start)
+}
+
+// PerRank returns rank r's events in time order.
+func (t *Trace) PerRank(r int) []Event {
+	var out []Event
+	for _, e := range t.Events {
+		if e.Rank == r {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Timeline renders a coarse per-processor Gantt chart: one lane per
+// processor, time scaled to width columns; C = compute, S = send,
+// . = idle/waiting, space = finished.
+func (t *Trace) Timeline(width int) string {
+	if width <= 0 || t.Tp <= 0 {
+		return ""
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "virtual-time timeline (Tp = %.1f, one column ≈ %.1f units)\n", t.Tp, t.Tp/float64(width))
+	scale := float64(width) / t.Tp
+	for r := 0; r < t.P; r++ {
+		lane := make([]byte, width)
+		for i := range lane {
+			lane[i] = ' '
+		}
+		for _, e := range t.PerRank(r) {
+			var ch byte
+			switch e.Kind {
+			case EventCompute:
+				ch = 'C'
+			case EventSend:
+				ch = 'S'
+			case EventIdle:
+				ch = '.'
+			default:
+				continue
+			}
+			lo := int(e.Start * scale)
+			hi := int(e.End * scale)
+			if hi >= width {
+				hi = width - 1
+			}
+			for i := lo; i <= hi && i < width; i++ {
+				lane[i] = ch
+			}
+		}
+		fmt.Fprintf(&sb, "p%-4d |%s|\n", r, lane)
+	}
+	return sb.String()
+}
+
+// RunTraced is Run with event tracing enabled; it additionally returns
+// the ordered trace. Tracing changes no virtual time.
+func RunTraced(m *machine.Machine, body func(*Proc)) (*Result, *Trace, error) {
+	if err := m.Validate(); err != nil {
+		return nil, nil, err
+	}
+	collector := &traceCollector{}
+	res, err := runInternal(m, body, collector)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr := &Trace{P: res.P, Tp: res.Tp, Events: collector.drain()}
+	sort.SliceStable(tr.Events, func(i, j int) bool {
+		if tr.Events[i].Rank != tr.Events[j].Rank {
+			return tr.Events[i].Rank < tr.Events[j].Rank
+		}
+		return tr.Events[i].Start < tr.Events[j].Start
+	})
+	return res, tr, nil
+}
+
+// traceCollector gathers events from all processors. Each Proc appends
+// to its own slice; no synchronization is needed beyond the final
+// drain, which happens after the WaitGroup barrier.
+type traceCollector struct {
+	perProc [][]Event
+}
+
+func (c *traceCollector) drain() []Event {
+	var out []Event
+	for _, evs := range c.perProc {
+		out = append(out, evs...)
+	}
+	return out
+}

@@ -1,0 +1,44 @@
+package topology
+
+// Binary-reflected Gray codes. The paper's mesh and 3-D grid algorithms
+// run on a hypercube by embedding the logical structure so that logical
+// neighbors are physical neighbors; Gray codes provide that embedding
+// (consecutive Gray codes differ in exactly one bit).
+
+// Gray returns the i-th binary-reflected Gray code.
+func Gray(i int) int { return i ^ (i >> 1) }
+
+// GrayInverse returns the position of code g in the binary-reflected
+// Gray sequence, i.e. GrayInverse(Gray(i)) == i.
+func GrayInverse(g int) int {
+	i := 0
+	for g != 0 {
+		i ^= g
+		g >>= 1
+	}
+	return i
+}
+
+// EmbedTorusInHypercube returns the standard Gray-code embedding of a
+// power-of-two wraparound mesh into the hypercube with the same number
+// of processors: mesh position (i, j) maps to hypercube rank
+// Gray(i)·C | Gray(j). Every torus neighbor pair (including the
+// wraparound edges) maps to a hypercube neighbor pair, which is the
+// property that lets the paper treat Cannon's shifts and the
+// tree-structured collectives as single-hop transfers on a hypercube.
+// The returned slice maps torus rank → hypercube rank and is a
+// bijection.
+func EmbedTorusInHypercube(t Torus2D) []int {
+	_, okR := Log2(t.R)
+	dc, okC := Log2(t.C)
+	if !okR || !okC {
+		panic("topology: torus sides must be powers of two to embed in a hypercube")
+	}
+	out := make([]int, t.Size())
+	for i := 0; i < t.R; i++ {
+		for j := 0; j < t.C; j++ {
+			out[t.RankAt(i, j)] = Gray(i)<<dc | Gray(j)
+		}
+	}
+	return out
+}
