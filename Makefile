@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench verify repro clean
+.PHONY: all build test race bench bench-smoke verify repro clean
 
 all: build test
 
@@ -12,10 +12,14 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/simulator ./internal/core ./internal/shm
+	$(GO) test -race ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# One iteration of every benchmark — catches bit-rot without the cost.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
 # End-to-end self-check: every algorithm vs its paper equation.
 verify:

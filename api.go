@@ -1,0 +1,254 @@
+package matscale
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+
+	"matscale/internal/core"
+	"matscale/internal/model"
+	"matscale/internal/regions"
+	"matscale/internal/shm"
+	"matscale/internal/simulator"
+)
+
+// Observability types, re-exported.
+type (
+	// Metrics is the per-rank/per-link breakdown of a run with the
+	// derived scalability quantities (measured To = p·Tp − W,
+	// comm/compute ratio, load imbalance, critical rank). Populated on
+	// Result by Run with WithMetrics.
+	Metrics = core.Metrics
+	// RankMetrics is one processor's virtual-time budget:
+	// compute + send + idle == Tp per rank.
+	RankMetrics = simulator.RankMetrics
+	// LinkMetrics is the charged traffic of one directed link.
+	LinkMetrics = simulator.LinkMetrics
+	// Trace is the ordered per-processor event history of a run; it
+	// exports to Chrome trace_event JSON (WriteChromeTrace), CSV
+	// (WriteCSV) and an ASCII timeline (Timeline).
+	Trace = simulator.Trace
+)
+
+// Option configures a Run, RunAuto or HostMul call.
+type Option func(*runConfig)
+
+type runConfig struct {
+	metrics   bool
+	traceSink io.Writer
+	dnsGrid   int
+	workers   int
+}
+
+func newRunConfig(opts []Option) runConfig {
+	var cfg runConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// WithMetrics asks Run to populate Result.Metrics with the per-rank
+// and per-link breakdown of the simulation and its derived quantities.
+// Collection charges zero virtual time: Tp and the product are
+// byte-identical with and without it.
+func WithMetrics() Option {
+	return func(c *runConfig) { c.metrics = true }
+}
+
+// WithTrace asks Run to record the per-processor event history and
+// write it to sink as Chrome trace_event JSON, loadable in
+// chrome://tracing or Perfetto (https://ui.perfetto.dev). The trace is
+// also left on Result.Sim.Trace for programmatic use. Zero virtual
+// cost.
+func WithTrace(sink io.Writer) Option {
+	return func(c *runConfig) { c.traceSink = sink }
+}
+
+// WithDNSGrid runs the DNS algorithm on a gridSide × gridSide block
+// grid coarser than one element per processor, letting the DNS
+// communication structure run with p < n² processors. It may only be
+// combined with a nil or DNS algorithm argument to Run. It replaces
+// the deprecated DNSWithGrid function.
+func WithDNSGrid(gridSide int) Option {
+	return func(c *runConfig) { c.dnsGrid = gridSide }
+}
+
+// WithWorkers sets the number of host goroutine workers used by
+// HostMul (and ParallelMul). 0 or less means all CPUs. It does not
+// affect the simulated algorithms, whose processor count is the
+// machine's.
+func WithWorkers(n int) Option {
+	return func(c *runConfig) { c.workers = n }
+}
+
+// machineFor returns the machine the algorithm should run on: m
+// itself when no observability was requested, otherwise a copy with
+// the collection flags raised, so the caller's machine is never
+// mutated.
+func (c runConfig) machineFor(m *Machine) *Machine {
+	if !c.metrics && c.traceSink == nil {
+		return m
+	}
+	mm := *m
+	mm.CollectMetrics = mm.CollectMetrics || c.metrics
+	mm.CollectTrace = mm.CollectTrace || c.traceSink != nil
+	return &mm
+}
+
+// export writes the Chrome trace if a sink was requested.
+func (c runConfig) export(res *Result) error {
+	if c.traceSink == nil {
+		return nil
+	}
+	if res.Sim == nil || res.Sim.Trace == nil {
+		return fmt.Errorf("matscale: algorithm produced no trace")
+	}
+	return res.Sim.Trace.WriteChromeTrace(c.traceSink)
+}
+
+// Run executes one parallel formulation on a simulated machine and
+// returns the enriched Result. It is the primary entry point of the
+// library:
+//
+//	res, err := matscale.Run(matscale.GK, matscale.NCube2(64), a, b,
+//	        matscale.WithMetrics(),
+//	        matscale.WithTrace(traceFile))
+//	// res.C is the verified product, res.Sim.Tp the virtual time,
+//	// res.Metrics the per-rank/per-link breakdown.
+//
+// A nil alg auto-selects the predicted-fastest applicable algorithm
+// (see RunAuto, which additionally reports the Selection). The
+// algorithm package variables (GK, Cannon, ...) remain callable
+// directly; Run adds the observability options on top without changing
+// any measured quantity.
+func Run(alg Algorithm, m *Machine, a, b *Matrix, opts ...Option) (*Result, error) {
+	cfg := newRunConfig(opts)
+	if cfg.dnsGrid > 0 {
+		if alg != nil && !sameAlgorithm(alg, DNS) {
+			return nil, fmt.Errorf("matscale: WithDNSGrid requires the DNS algorithm (or nil)")
+		}
+		g := cfg.dnsGrid
+		alg = func(m *Machine, a, b *Matrix) (*Result, error) {
+			return core.DNSWithGrid(m, a, b, g)
+		}
+	}
+	if alg == nil {
+		res, _, err := runAuto(cfg, m, a, b)
+		return res, err
+	}
+	res, err := alg(cfg.machineFor(m), a, b)
+	if err != nil {
+		return nil, err
+	}
+	return res, cfg.export(res)
+}
+
+// sameAlgorithm reports whether two Algorithm values refer to the same
+// function (used to validate option/algorithm combinations; Go func
+// values are otherwise not comparable).
+func sameAlgorithm(a, b Algorithm) bool {
+	return reflect.ValueOf(a).Pointer() == reflect.ValueOf(b).Pointer()
+}
+
+// Selection names an algorithm choice of the paper's Section 6
+// analysis: the formulation, its name, and the parallel time the
+// closed-form model predicts for it on the queried (machine, n).
+type Selection struct {
+	Name        string
+	Algorithm   Algorithm
+	PredictedTp float64
+}
+
+// Select returns the algorithm the paper's Section 6 analysis predicts
+// to be fastest for multiplying n×n matrices on m, with its model-
+// predicted parallel time. It compares the Table 1 overhead functions
+// of the applicable algorithms without running anything.
+func Select(m *Machine, n int) Selection {
+	letter := regions.Best(Params{Ts: m.Ts, Tw: m.Tw}, float64(n), float64(m.P()))
+	var name string
+	var alg Algorithm
+	switch letter {
+	case 'b':
+		name, alg = "Berntsen", core.Berntsen
+	case 'c':
+		name, alg = "Cannon", core.Cannon
+	case 'd':
+		name, alg = "DNS", core.DNS
+	default: // 'a', serial (p=1, any algorithm degenerates), infeasible
+		name, alg = "GK", core.GK
+	}
+	return Selection{Name: name, Algorithm: alg, PredictedTp: predictedTp(name, m, n)}
+}
+
+// predictedTp evaluates the paper's closed-form parallel time of the
+// named algorithm (Eqs. 2–7) for n×n matrices on m; 0 when the model
+// has no equation for the name.
+func predictedTp(name string, m *Machine, n int) float64 {
+	pr := Params{Ts: m.Ts, Tw: m.Tw}
+	nf, pf := float64(n), float64(m.P())
+	switch name {
+	case "Simple":
+		return model.PaperSimpleTp(pr, nf, pf)
+	case "Cannon":
+		return model.PaperCannonTp(pr, nf, pf)
+	case "Fox":
+		return model.PaperFoxTp(pr, nf, pf)
+	case "Berntsen":
+		return model.PaperBerntsenTp(pr, nf, pf)
+	case "DNS":
+		return model.PaperDNSTp(pr, nf, pf)
+	case "GK":
+		return model.PaperGKTp(pr, nf, pf)
+	}
+	return 0
+}
+
+// RunAuto picks the predicted-fastest applicable algorithm for (m, n)
+// and runs it with the given options, falling back along the overhead
+// ordering when the preferred formulation's structural requirements
+// (perfect square/cube processor counts, divisibility) do not hold for
+// this exact configuration. The returned Selection identifies what
+// actually ran. It is the typed replacement for AutoMul.
+func RunAuto(m *Machine, a, b *Matrix, opts ...Option) (*Result, Selection, error) {
+	return runAuto(newRunConfig(opts), m, a, b)
+}
+
+func runAuto(cfg runConfig, m *Machine, a, b *Matrix) (*Result, Selection, error) {
+	if a.Rows != a.Cols || b.Rows != b.Cols || a.Rows != b.Rows {
+		return nil, Selection{}, fmt.Errorf("matscale: auto-selection needs equal square matrices, got %dx%d and %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	first := Select(m, a.Rows)
+	candidates := []Selection{first}
+	for _, c := range []struct {
+		name string
+		alg  Algorithm
+	}{
+		{"GK", core.GK}, {"Berntsen", core.Berntsen}, {"Cannon", core.Cannon},
+		{"Simple", core.Simple}, {"DNS", core.DNS}, {"Fox", core.Fox},
+	} {
+		if c.name != first.Name {
+			candidates = append(candidates, Selection{Name: c.name, Algorithm: c.alg, PredictedTp: predictedTp(c.name, m, a.Rows)})
+		}
+	}
+	mm := cfg.machineFor(m)
+	var lastErr error
+	for _, c := range candidates {
+		res, err := c.Algorithm(mm, a, b)
+		if err == nil {
+			return res, c, cfg.export(res)
+		}
+		lastErr = err
+	}
+	return nil, Selection{}, fmt.Errorf("matscale: no algorithm accepts n=%d on %s: %w", a.Rows, m, lastErr)
+}
+
+// HostMul multiplies on the host machine with real goroutine workers —
+// the library's non-simulated fast path, in the error style of the rest
+// of the public API. WithWorkers selects the worker count (default all
+// CPUs); the other options are ignored. It returns an error on an
+// inner-dimension mismatch (a and b may be rectangular).
+func HostMul(a, b *Matrix, opts ...Option) (*Matrix, error) {
+	cfg := newRunConfig(opts)
+	return shm.Mul(a, b, cfg.workers, 0)
+}

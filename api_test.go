@@ -1,0 +1,210 @@
+package matscale_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"matscale"
+)
+
+func TestRunWithMetrics(t *testing.T) {
+	m := matscale.NCube2(64)
+	a := matscale.RandomMatrix(16, 16, 1)
+	b := matscale.RandomMatrix(16, 16, 2)
+	res, err := matscale.Run(matscale.GK, m, a, b, matscale.WithMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != "GK" {
+		t.Fatalf("Algorithm = %q, want GK", res.Algorithm)
+	}
+	mt := res.Metrics
+	if mt == nil {
+		t.Fatal("Metrics nil with WithMetrics")
+	}
+	if mt.W != 16*16*16 {
+		t.Fatalf("W = %v", mt.W)
+	}
+	if want := res.Overhead(); mt.Overhead != want {
+		t.Fatalf("Metrics.Overhead = %v, Result.Overhead = %v", mt.Overhead, want)
+	}
+	for _, r := range mt.Ranks {
+		if got := r.Compute + r.Send + r.Idle; got != mt.Tp {
+			t.Fatalf("rank %d budget %v != Tp %v", r.Rank, got, mt.Tp)
+		}
+	}
+	// The caller's machine is never mutated.
+	if m.CollectMetrics {
+		t.Fatal("Run mutated the caller's machine")
+	}
+}
+
+func TestRunWithoutOptionsMatchesDirectCall(t *testing.T) {
+	m := matscale.NCube2(16)
+	a := matscale.RandomMatrix(8, 8, 1)
+	b := matscale.RandomMatrix(8, 8, 2)
+	direct, err := matscale.Cannon(m, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaRun, err := matscale.Run(matscale.Cannon, m, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Sim.Tp != viaRun.Sim.Tp {
+		t.Fatalf("Tp differs: %v vs %v", direct.Sim.Tp, viaRun.Sim.Tp)
+	}
+	if viaRun.Metrics != nil {
+		t.Fatal("Metrics populated without WithMetrics")
+	}
+}
+
+func TestRunWithTrace(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := matscale.Run(matscale.Cannon, matscale.NCube2(16),
+		matscale.RandomMatrix(8, 8, 1), matscale.RandomMatrix(8, 8, 2),
+		matscale.WithTrace(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("WithTrace wrote invalid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("WithTrace wrote no events")
+	}
+	if res.Sim.Trace == nil {
+		t.Fatal("trace not retained on Result.Sim.Trace")
+	}
+}
+
+func TestWithDNSGridMatchesDeprecatedFunction(t *testing.T) {
+	m := matscale.NCube2(64)
+	a := matscale.RandomMatrix(16, 16, 1)
+	b := matscale.RandomMatrix(16, 16, 2)
+	old, err := matscale.DNSWithGrid(m, a, b, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaOpt, err := matscale.Run(matscale.DNS, m, a, b, matscale.WithDNSGrid(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.Sim.Tp != viaOpt.Sim.Tp || old.Sim.Messages != viaOpt.Sim.Messages {
+		t.Fatalf("WithDNSGrid diverges from DNSWithGrid: Tp %v vs %v", old.Sim.Tp, viaOpt.Sim.Tp)
+	}
+	// nil algorithm with the grid option also runs DNS.
+	viaNil, err := matscale.Run(nil, m, a, b, matscale.WithDNSGrid(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaNil.Sim.Tp != old.Sim.Tp {
+		t.Fatalf("Run(nil, WithDNSGrid) Tp = %v, want %v", viaNil.Sim.Tp, old.Sim.Tp)
+	}
+}
+
+func TestWithDNSGridRejectsOtherAlgorithms(t *testing.T) {
+	_, err := matscale.Run(matscale.Cannon, matscale.NCube2(64),
+		matscale.RandomMatrix(16, 16, 1), matscale.RandomMatrix(16, 16, 2),
+		matscale.WithDNSGrid(4))
+	if err == nil || !strings.Contains(err.Error(), "WithDNSGrid") {
+		t.Fatalf("err = %v, want a WithDNSGrid combination error", err)
+	}
+}
+
+func TestRunNilAutoSelects(t *testing.T) {
+	res, err := matscale.Run(nil, matscale.NCube2(64),
+		matscale.RandomMatrix(16, 16, 1), matscale.RandomMatrix(16, 16, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm == "" {
+		t.Fatal("auto-selected result has no algorithm name")
+	}
+}
+
+func TestRunAutoSelection(t *testing.T) {
+	m := matscale.NCube2(64)
+	res, sel, err := matscale.RunAuto(m, matscale.RandomMatrix(16, 16, 1),
+		matscale.RandomMatrix(16, 16, 2), matscale.WithMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Name == "" || sel.Algorithm == nil {
+		t.Fatalf("Selection = %+v", sel)
+	}
+	if res.Algorithm != sel.Name {
+		t.Fatalf("result ran %q but selection says %q", res.Algorithm, sel.Name)
+	}
+	if sel.PredictedTp <= 0 {
+		t.Fatalf("PredictedTp = %v, want > 0", sel.PredictedTp)
+	}
+	if res.Metrics == nil {
+		t.Fatal("RunAuto dropped the WithMetrics option")
+	}
+}
+
+func TestSelectConsistentWithChoose(t *testing.T) {
+	m := matscale.NCube2(64)
+	sel := matscale.Select(m, 128)
+	_, name := matscale.Choose(m, 128)
+	if sel.Name != name {
+		t.Fatalf("Select picked %q, Choose picked %q", sel.Name, name)
+	}
+	if sel.PredictedTp <= 0 {
+		t.Fatalf("PredictedTp = %v", sel.PredictedTp)
+	}
+}
+
+func TestAutoMulWrapsRunAuto(t *testing.T) {
+	m := matscale.NCube2(64)
+	a := matscale.RandomMatrix(16, 16, 1)
+	b := matscale.RandomMatrix(16, 16, 2)
+	res, name, err := matscale.AutoMul(m, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sel, err := matscale.RunAuto(m, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != sel.Name || res.Algorithm != sel.Name {
+		t.Fatalf("AutoMul name %q, RunAuto selection %q, result %q", name, sel.Name, res.Algorithm)
+	}
+}
+
+func TestHostMul(t *testing.T) {
+	a := matscale.RandomMatrix(33, 17, 1)
+	b := matscale.RandomMatrix(17, 29, 2)
+	got, err := matscale.HostMul(a, b, matscale.WithWorkers(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := matscale.Mul(a, b)
+	for i := range want.Data {
+		if d := got.Data[i] - want.Data[i]; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("element %d: %v vs %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestHostMulDimensionMismatch(t *testing.T) {
+	_, err := matscale.HostMul(matscale.NewMatrix(3, 4), matscale.NewMatrix(5, 3))
+	if err == nil || !strings.Contains(err.Error(), "mismatch") {
+		t.Fatalf("err = %v, want dimension mismatch", err)
+	}
+}
+
+func TestParallelMulStillPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("ParallelMul did not panic on a dimension mismatch")
+		}
+	}()
+	matscale.ParallelMul(matscale.NewMatrix(3, 4), matscale.NewMatrix(5, 3), 1)
+}

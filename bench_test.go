@@ -239,10 +239,10 @@ func BenchmarkHostParallelN256(b *testing.B) {
 	benchKernel(b, 256, func(a, c *matrix.Dense) *matrix.Dense { return matscale.ParallelMul(a, c, 0) })
 }
 func BenchmarkHostParallelN512(b *testing.B) {
-	benchKernel(b, 512, func(a, c *matrix.Dense) *matrix.Dense { return shm.Mul(a, c, 0, 64) })
+	benchKernel(b, 512, func(a, c *matrix.Dense) *matrix.Dense { r, _ := shm.Mul(a, c, 0, 64); return r })
 }
 func BenchmarkHostParallel1WorkerN512(b *testing.B) {
-	benchKernel(b, 512, func(a, c *matrix.Dense) *matrix.Dense { return shm.Mul(a, c, 1, 64) })
+	benchKernel(b, 512, func(a, c *matrix.Dense) *matrix.Dense { r, _ := shm.Mul(a, c, 1, 64); return r })
 }
 
 // --- Methodology validation -----------------------------------------------
@@ -412,7 +412,9 @@ func BenchmarkHostWorkerScaling(b *testing.B) {
 		b.Run(fmt.Sprintf("workers%d", w), func(b *testing.B) {
 			b.SetBytes(int64(8 * 384 * 384 * 3))
 			for i := 0; i < b.N; i++ {
-				shm.Mul(a, c, w, 64)
+				if _, err := shm.Mul(a, c, w, 64); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

@@ -11,6 +11,7 @@
 //	matscale run        -alg gk|cannon|fox|foxpipe|simple|berntsen|dns|auto
 //	                    -n 64 -p 64 [-machine ncube2|fast|simd|cm5]
 //	                    [-a A.csv -b B.csv -out C.csv]
+//	                    [-metrics] [-trace out.json] [-grid q]
 //	matscale isoeff     [-ts 150 -tw 3 -e 0.5]
 //	matscale compare    [-ts 150 -tw 3]
 //	matscale allport    [-ts 10 -tw 3]
@@ -22,6 +23,7 @@
 //	matscale saturation [-n 64 -ts 150 -tw 3]
 //	matscale verify
 //	matscale trace      [-op broadcast|allgather|...|gk -p 8 -m 64]
+//	                    [-chrome out.json]
 //	matscale all        [-quick]
 package main
 
@@ -30,6 +32,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"sort"
 
 	"matscale"
 	"matscale/internal/experiments"
@@ -177,6 +180,9 @@ func cmdRun(args []string) error {
 	aFile := fs.String("a", "", "CSV file for matrix A (random if empty)")
 	bFile := fs.String("b", "", "CSV file for matrix B (random if empty)")
 	outFile := fs.String("out", "", "write the product as CSV to this file")
+	metrics := fs.Bool("metrics", false, "print the per-rank/per-link breakdown (To decomposition)")
+	traceFile := fs.String("trace", "", "write a Chrome trace_event JSON to this file (chrome://tracing, Perfetto)")
+	grid := fs.Int("grid", 0, "DNS block-grid side (runs DNS with WithDNSGrid; requires -alg dns)")
 	fs.Parse(args)
 
 	var m *matscale.Machine
@@ -214,22 +220,47 @@ func cmdRun(args []string) error {
 		}
 	}
 
+	var opts []matscale.Option
+	if *metrics {
+		opts = append(opts, matscale.WithMetrics())
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		opts = append(opts, matscale.WithTrace(f))
+	}
+	if *grid > 0 {
+		opts = append(opts, matscale.WithDNSGrid(*grid))
+	}
+
 	var res *matscale.Result
 	var err error
 	name := *algName
-	if name == "auto" {
-		res, name, err = matscale.AutoMul(m, a, b)
+	if name == "auto" && *grid == 0 {
+		var sel matscale.Selection
+		res, sel, err = matscale.RunAuto(m, a, b, opts...)
+		if err == nil {
+			name = sel.Name
+			fmt.Printf("predicted:  Tp = %.1f (model)\n", sel.PredictedTp)
+		}
 	} else {
 		algs := map[string]matscale.Algorithm{
 			"gk": matscale.GK, "gkimproved": matscale.GKImprovedBroadcast,
 			"cannon": matscale.Cannon, "fox": matscale.Fox, "foxpipe": matscale.FoxPipelined,
 			"simple": matscale.Simple, "berntsen": matscale.Berntsen, "dns": matscale.DNS,
+			"auto": nil,
 		}
 		alg, ok := algs[name]
 		if !ok {
 			return fmt.Errorf("unknown algorithm %q", name)
 		}
-		res, err = alg(m, a, b)
+		res, err = matscale.Run(alg, m, a, b, opts...)
+		if err == nil {
+			name = res.Algorithm
+		}
 	}
 	if err != nil {
 		return err
@@ -251,6 +282,12 @@ func cmdRun(args []string) error {
 	fmt.Printf("overhead:   %.1f (To = p·Tp − W)\n", res.Overhead())
 	fmt.Printf("messages:   %d (%d words moved)\n", res.Sim.Messages, res.Sim.Words)
 	fmt.Printf("verified:   max |C - serial| = %g\n", maxDiff)
+	if *metrics && res.Metrics != nil {
+		printMetrics(res.Metrics)
+	}
+	if *traceFile != "" {
+		fmt.Printf("trace:      written to %s\n", *traceFile)
+	}
 	if *outFile != "" {
 		if err := writeMatrixFile(*outFile, res.C); err != nil {
 			return err
@@ -258,6 +295,42 @@ func cmdRun(args []string) error {
 		fmt.Printf("product:    written to %s\n", *outFile)
 	}
 	return nil
+}
+
+// printMetrics renders the per-rank/per-link breakdown collected with
+// WithMetrics: the To decomposition of the run.
+func printMetrics(mt *matscale.Metrics) {
+	fmt.Println()
+	fmt.Printf("measured overhead decomposition (p·Tp − W = %.1f):\n", mt.Overhead)
+	fmt.Printf("  total compute: %12.1f\n", mt.TotalCompute)
+	fmt.Printf("  total send:    %12.1f\n", mt.TotalComm)
+	fmt.Printf("  total idle:    %12.1f\n", mt.TotalIdle)
+	fmt.Printf("  comm/compute:  %12.4f\n", mt.CommComputeRatio)
+	fmt.Printf("  load imbal.:   %12.4f (critical rank %d)\n", mt.LoadImbalance, mt.CriticalRank)
+	fmt.Println()
+	fmt.Printf("%6s %12s %12s %12s %12s %6s %6s %8s %8s\n",
+		"rank", "compute", "send", "recv_wait", "idle", "sent", "recvd", "w_sent", "w_recvd")
+	for _, r := range mt.Ranks {
+		fmt.Printf("%6d %12.1f %12.1f %12.1f %12.1f %6d %6d %8d %8d\n",
+			r.Rank, r.Compute, r.Send, r.RecvWait, r.Idle,
+			r.MsgsSent, r.MsgsRecvd, r.WordsSent, r.WordsRecvd)
+	}
+	if len(mt.Links) == 0 {
+		return
+	}
+	// Busiest links first; show at most ten.
+	links := append([]matscale.LinkMetrics(nil), mt.Links...)
+	sort.Slice(links, func(i, j int) bool { return links[i].Busy > links[j].Busy })
+	if len(links) > 10 {
+		links = links[:10]
+	}
+	fmt.Println()
+	fmt.Printf("busiest links (%d of %d):\n", len(links), len(mt.Links))
+	fmt.Printf("%6s %6s %6s %8s %12s %8s\n", "from", "to", "msgs", "words", "busy", "util")
+	for _, l := range links {
+		fmt.Printf("%6d %6d %6d %8d %12.1f %8.4f\n",
+			l.From, l.To, l.Msgs, l.Words, l.Busy, l.Utilization(mt.Tp))
+	}
 }
 
 func readMatrixFile(path string) (*matscale.Matrix, error) {

@@ -82,8 +82,48 @@ func TestCmdRunGKOnCube(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(out, "algorithm:  gk") {
+	if !strings.Contains(out, "algorithm:  GK") {
 		t.Errorf("run output malformed:\n%s", out)
+	}
+}
+
+func TestCmdRunMetricsAndTrace(t *testing.T) {
+	trace := t.TempDir() + "/gk.json"
+	out, err := capture(t, func() error {
+		return cmdRun([]string{"-alg", "gk", "-n", "16", "-p", "64", "-metrics", "-trace", trace})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"overhead decomposition", "comm/compute", "busiest links", "recv_wait"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("metrics output missing %q:\n%s", frag, out)
+		}
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte("traceEvents")) {
+		t.Errorf("trace file is not a trace_event document:\n%.200s", data)
+	}
+}
+
+func TestCmdRunDNSGrid(t *testing.T) {
+	out, err := capture(t, func() error {
+		return cmdRun([]string{"-alg", "dns", "-grid", "4", "-n", "16", "-p", "64"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "algorithm:  DNS") {
+		t.Errorf("grid run output malformed:\n%s", out)
+	}
+	// The grid option must reject non-DNS algorithms.
+	if _, err := capture(t, func() error {
+		return cmdRun([]string{"-alg", "cannon", "-grid", "4", "-n", "16", "-p", "64"})
+	}); err == nil {
+		t.Error("grid option accepted a non-DNS algorithm")
 	}
 }
 

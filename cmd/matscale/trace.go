@@ -3,6 +3,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
 	"matscale/internal/collective"
 	"matscale/internal/core"
@@ -15,6 +16,8 @@ import (
 // cmdTrace renders the virtual-time schedule of one collective
 // operation — the building blocks whose closed-form costs underpin
 // every equation in the paper. C = computing, S = sending, . = waiting.
+// With -chrome the same trace is also written as Chrome trace_event
+// JSON for chrome://tracing or Perfetto.
 func cmdTrace(args []string) error {
 	fs := flag.NewFlagSet("trace", flag.ExitOnError)
 	op := fs.String("op", "broadcast", "operation: broadcast, allgather, reduce, reducescatter, alltoall, allreduce, gk")
@@ -22,7 +25,24 @@ func cmdTrace(args []string) error {
 	words := fs.Int("m", 64, "message words per processor")
 	ts, tw := paramFlags(fs, 17, 3)
 	width := fs.Int("width", 72, "timeline width in columns")
+	chrome := fs.String("chrome", "", "also write the trace as Chrome trace_event JSON to this file")
 	fs.Parse(args)
+
+	exportChrome := func(tr *simulator.Trace) error {
+		if *chrome == "" {
+			return nil
+		}
+		f, err := os.Create(*chrome)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := tr.WriteChromeTrace(f); err != nil {
+			return err
+		}
+		fmt.Printf("chrome trace written to %s\n", *chrome)
+		return nil
+	}
 
 	m := machine.Hypercube(*p, *ts, *tw)
 	group := make([]int, *p)
@@ -71,7 +91,7 @@ func cmdTrace(args []string) error {
 		fmt.Printf("GK algorithm, n=%d, %s\n", n, m)
 		fmt.Print(tr.Timeline(*width))
 		fmt.Printf("Tp = %.1f   messages = %d   words moved = %d\n", res.Sim.Tp, res.Sim.Messages, res.Sim.Words)
-		return nil
+		return exportChrome(tr)
 	default:
 		return fmt.Errorf("unknown operation %q", *op)
 	}
@@ -83,5 +103,5 @@ func cmdTrace(args []string) error {
 	fmt.Printf("%s over %d processors, %d words, %s\n", *op, *p, *words, m)
 	fmt.Print(tr.Timeline(*width))
 	fmt.Printf("Tp = %.1f   messages = %d   words moved = %d\n", res.Tp, res.Messages, res.Words)
-	return nil
+	return exportChrome(tr)
 }

@@ -110,5 +110,5 @@ func Berntsen(m *machine.Machine, a, b *matrix.Dense) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{C: product, Sim: sim, N: n, P: p}, nil
+	return newResult("Berntsen", product, sim, n, p), nil
 }

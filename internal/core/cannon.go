@@ -50,5 +50,5 @@ func Cannon(m *machine.Machine, a, b *matrix.Dense) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{C: product, Sim: sim, N: n, P: p}, nil
+	return newResult("Cannon", product, sim, n, p), nil
 }

@@ -37,6 +37,67 @@ type Result struct {
 	Sim *simulator.Result // virtual-time measurements
 	N   int               // matrix dimension
 	P   int               // processors used
+	// Algorithm is the name of the formulation that produced the
+	// result ("Cannon", "GK", ...), stamped by every entry point.
+	Algorithm string
+	// Metrics is the per-rank/per-link breakdown with the derived
+	// scalability quantities, populated when the machine had
+	// CollectMetrics set (e.g. via matscale.Run with WithMetrics);
+	// nil otherwise.
+	Metrics *Metrics
+}
+
+// Metrics enriches the simulator's per-rank/per-link breakdown with
+// the derived quantities of the paper's analysis for problem size
+// W = n³.
+type Metrics struct {
+	*simulator.Metrics
+
+	W float64 // problem size n³
+	// Overhead is the measured total overhead To = p·Tp − W
+	// (Section 2) — the quantity whose growth with p determines every
+	// isoefficiency result in the paper.
+	Overhead float64
+	// CommComputeRatio is total charged communication time over total
+	// compute time.
+	CommComputeRatio float64
+	// LoadImbalance is max over mean per-rank busy time (1.0 =
+	// perfectly balanced).
+	LoadImbalance float64
+	// CriticalRank is the lowest rank finishing at Tp.
+	CriticalRank int
+	// TotalCompute, TotalComm and TotalIdle decompose p·Tp: the Σ of
+	// the per-rank Compute, Send and Idle columns. TotalComm +
+	// TotalIdle equals the measured Overhead when W = TotalCompute.
+	TotalCompute float64
+	TotalComm    float64
+	TotalIdle    float64
+}
+
+// deriveMetrics computes the derived quantities from the simulator's
+// raw breakdown.
+func deriveMetrics(sm *simulator.Metrics, w float64) *Metrics {
+	return &Metrics{
+		Metrics:          sm,
+		W:                w,
+		Overhead:         sm.Overhead(w),
+		CommComputeRatio: sm.CommComputeRatio(),
+		LoadImbalance:    sm.LoadImbalance(),
+		CriticalRank:     sm.CriticalRank(),
+		TotalCompute:     sm.TotalCompute(),
+		TotalComm:        sm.TotalComm(),
+		TotalIdle:        sm.TotalIdle(),
+	}
+}
+
+// newResult assembles the Result every algorithm returns, stamping the
+// algorithm name and deriving Metrics when the run collected them.
+func newResult(name string, c *matrix.Dense, sim *simulator.Result, n, p int) *Result {
+	r := &Result{Algorithm: name, C: c, Sim: sim, N: n, P: p}
+	if sim.Metrics != nil {
+		r.Metrics = deriveMetrics(sim.Metrics, r.W())
+	}
+	return r
 }
 
 // W returns the problem size W = n³ (Section 2).

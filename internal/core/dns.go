@@ -172,5 +172,5 @@ func DNSWithGrid(m *machine.Machine, a, b *matrix.Dense, gridSide int) (*Result,
 	if err != nil {
 		return nil, err
 	}
-	return &Result{C: product, Sim: sim, N: n, P: p}, nil
+	return newResult("DNS", product, sim, n, p), nil
 }

@@ -103,5 +103,9 @@ func foxImpl(m *machine.Machine, a, b *matrix.Dense, pipelined bool) (*Result, e
 	if err != nil {
 		return nil, err
 	}
-	return &Result{C: product, Sim: sim, N: n, P: p}, nil
+	name := "Fox"
+	if pipelined {
+		name = "FoxPipelined"
+	}
+	return newResult(name, product, sim, n, p), nil
 }

@@ -76,5 +76,5 @@ func FoxAsync(m *machine.Machine, a, b *matrix.Dense) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{C: product, Sim: sim, N: n, P: p}, nil
+	return newResult("FoxAsync", product, sim, n, p), nil
 }

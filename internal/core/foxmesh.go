@@ -79,7 +79,7 @@ func FoxMesh(m *machine.Machine, a, b *matrix.Dense) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Result{C: product, Sim: sim, N: n, P: p}, nil
+	return newResult("FoxMesh", product, sim, n, p), nil
 }
 
 // FoxPacketPipelined is Fox's pipelined variant realized with genuine
@@ -142,5 +142,5 @@ func FoxPacketPipelined(m *machine.Machine, a, b *matrix.Dense) (*Result, error)
 	if err != nil {
 		return nil, err
 	}
-	return &Result{C: product, Sim: sim, N: n, P: p}, nil
+	return newResult("FoxPacketPipelined", product, sim, n, p), nil
 }

@@ -216,8 +216,15 @@ func gkBody(m *machine.Machine, a, b *matrix.Dense, variant gkVariant) (func(*si
 			gatherGrid(pr, holders, q3, q3, tagGatherC, blockFrom(sum, bs, bs), &product)
 		}
 	}
+	name := "GK"
+	switch variant {
+	case gkImproved:
+		name = "GKImprovedBroadcast"
+	case gkAllPort:
+		name = "GKAllPort"
+	}
 	finish := func(sim *simulator.Result) *Result {
-		return &Result{C: product, Sim: sim, N: n, P: p}
+		return newResult(name, product, sim, n, p)
 	}
 	return body, finish, nil
 }

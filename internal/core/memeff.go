@@ -87,7 +87,7 @@ func SimpleMemEfficientAllPort(m *machine.Machine, a, b *matrix.Dense) (*Result,
 	if err != nil {
 		return nil, err
 	}
-	return &Result{C: product, Sim: sim, N: n, P: p}, nil
+	return newResult("SimpleMemEfficientAllPort", product, sim, n, p), nil
 }
 
 // allPortBcastCost is the all-port one-to-all broadcast cost for m

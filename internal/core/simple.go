@@ -83,5 +83,9 @@ func simpleImpl(m *machine.Machine, a, b *matrix.Dense, allPort bool) (*Result, 
 	if err != nil {
 		return nil, err
 	}
-	return &Result{C: product, Sim: sim, N: n, P: p}, nil
+	name := "Simple"
+	if allPort {
+		name = "SimpleAllPort"
+	}
+	return newResult(name, product, sim, n, p), nil
 }

@@ -67,6 +67,16 @@ type Machine struct {
 	// measured times do not change. Programs that do collide incur
 	// waiting time, reported in simulator.Result.ContentionWait.
 	TrackContention bool
+	// CollectMetrics asks the simulator to build the per-rank/per-link
+	// breakdown of the run (simulator.Result.Metrics). Observability
+	// flags ride on the Machine because it is the one context every
+	// algorithm entry point receives; collecting charges zero virtual
+	// time and changes no measured quantity.
+	CollectMetrics bool
+	// CollectTrace asks the simulator to record the per-processor event
+	// history (simulator.Result.Trace) for timeline rendering and
+	// Chrome-trace export. Zero virtual cost.
+	CollectTrace bool
 }
 
 // Route returns the ordered node sequence of the path a message from

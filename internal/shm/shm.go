@@ -20,12 +20,14 @@ const DefaultTile = 64
 
 // Mul computes a·b with the given number of worker goroutines
 // (workers ≤ 0 uses GOMAXPROCS) and cache tile (tile ≤ 0 uses
-// DefaultTile). The result is identical to matrix.Mul up to
-// floating-point associativity within each row, and bit-identical for
-// inputs whose products are exact (e.g. small integers).
-func Mul(a, b *matrix.Dense, workers, tile int) *matrix.Dense {
+// DefaultTile). It returns an error when the inner dimensions do not
+// match, in the error style of the rest of the public API. The result
+// is identical to matrix.Mul up to floating-point associativity within
+// each row, and bit-identical for inputs whose products are exact
+// (e.g. small integers).
+func Mul(a, b *matrix.Dense, workers, tile int) (*matrix.Dense, error) {
 	if a.Cols != b.Rows {
-		panic(fmt.Sprintf("shm: inner dimension mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+		return nil, fmt.Errorf("shm: inner dimension mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -36,7 +38,7 @@ func Mul(a, b *matrix.Dense, workers, tile int) *matrix.Dense {
 	n, m, k := a.Rows, b.Cols, a.Cols
 	c := matrix.New(n, m)
 	if n == 0 || m == 0 || k == 0 {
-		return c
+		return c, nil
 	}
 	if workers > n {
 		workers = n
@@ -57,7 +59,7 @@ func Mul(a, b *matrix.Dense, workers, tile int) *matrix.Dense {
 		}(bounds[w], bounds[w+1])
 	}
 	wg.Wait()
-	return c
+	return c, nil
 }
 
 // mulRows computes rows [r0, r1) of c = a·b with l-j tiling.

@@ -14,7 +14,10 @@ func TestMulMatchesSerial(t *testing.T) {
 	} {
 		a := matrix.RandomInts(c.n, c.n, uint64(c.n))
 		b := matrix.RandomInts(c.n, c.n, uint64(c.n)+9)
-		got := Mul(a, b, c.workers, c.tile)
+		got, err := Mul(a, b, c.workers, c.tile)
+		if err != nil {
+			t.Fatalf("n=%d workers=%d tile=%d: %v", c.n, c.workers, c.tile, err)
+		}
 		want := matrix.Mul(a, b)
 		if d := matrix.MaxAbsDiff(got, want); d != 0 {
 			t.Fatalf("n=%d workers=%d tile=%d: differs by %v", c.n, c.workers, c.tile, d)
@@ -25,27 +28,29 @@ func TestMulMatchesSerial(t *testing.T) {
 func TestMulRectangular(t *testing.T) {
 	a := matrix.RandomInts(13, 29, 5)
 	b := matrix.RandomInts(29, 7, 6)
-	got := Mul(a, b, 3, 8)
+	got, err := Mul(a, b, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if d := matrix.MaxAbsDiff(got, matrix.Mul(a, b)); d != 0 {
 		t.Fatalf("rectangular product differs by %v", d)
 	}
 }
 
 func TestMulEmpty(t *testing.T) {
-	c := Mul(matrix.New(0, 5), matrix.New(5, 3), 4, 16)
+	c, err := Mul(matrix.New(0, 5), matrix.New(5, 3), 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if c.Rows != 0 || c.Cols != 3 {
 		t.Fatalf("empty product shape %dx%d", c.Rows, c.Cols)
 	}
 }
 
-func TestMulDimensionMismatchPanics(t *testing.T) {
-	defer func() {
-		r := recover()
-		if r == nil || !strings.Contains(r.(string), "mismatch") {
-			t.Fatalf("panic = %v", r)
-		}
-	}()
-	Mul(matrix.New(2, 3), matrix.New(2, 3), 1, 1)
+func TestMulDimensionMismatchErrors(t *testing.T) {
+	if _, err := Mul(matrix.New(2, 3), matrix.New(2, 3), 1, 1); err == nil || !strings.Contains(err.Error(), "mismatch") {
+		t.Fatalf("err = %v", err)
+	}
 }
 
 // Property: worker count never changes the result for integer inputs.
@@ -53,9 +58,9 @@ func TestQuickWorkerInvariance(t *testing.T) {
 	f := func(seed uint64, w1, w2 uint8) bool {
 		a := matrix.RandomInts(17, 17, seed)
 		b := matrix.RandomInts(17, 17, seed+1)
-		r1 := Mul(a, b, int(w1%8)+1, 8)
-		r2 := Mul(a, b, int(w2%8)+1, 32)
-		return matrix.MaxAbsDiff(r1, r2) == 0
+		r1, err1 := Mul(a, b, int(w1%8)+1, 8)
+		r2, err2 := Mul(a, b, int(w2%8)+1, 32)
+		return err1 == nil && err2 == nil && matrix.MaxAbsDiff(r1, r2) == 0
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
@@ -96,8 +101,8 @@ func TestQuickCannonParallelAgreesWithRowParallel(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		viaRows := Mul(a, b, 4, 8)
-		return matrix.MaxAbsDiff(viaCannon, viaRows) == 0
+		viaRows, errRows := Mul(a, b, 4, 8)
+		return errRows == nil && matrix.MaxAbsDiff(viaCannon, viaRows) == 0
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Fatal(err)
@@ -134,8 +139,8 @@ func TestQuickThreeWayAgreement(t *testing.T) {
 		b := matrix.RandomInts(16, 16, seed+1)
 		viaSUMMA, err1 := SUMMA(a, b, 4)
 		viaCannon, err2 := CannonParallel(a, b, 4)
-		viaRows := Mul(a, b, 4, 8)
-		return err1 == nil && err2 == nil &&
+		viaRows, err3 := Mul(a, b, 4, 8)
+		return err1 == nil && err2 == nil && err3 == nil &&
 			matrix.MaxAbsDiff(viaSUMMA, viaCannon) == 0 &&
 			matrix.MaxAbsDiff(viaSUMMA, viaRows) == 0
 	}

@@ -1,0 +1,203 @@
+package simulator
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// RankMetrics is one processor's virtual-time budget for a run. Every
+// instant of a rank's timeline is exactly one of computing, sending, or
+// idle, so
+//
+//	Compute + Send + Idle == Tp
+//
+// holds per rank (up to float64 summation error), which is the per-rank
+// refinement of the paper's overhead decomposition To = p·Tp − W
+// (Section 2): summing the Send and Idle columns over ranks gives the
+// communication and idle components of To when W equals the total
+// compute time.
+type RankMetrics struct {
+	Rank    int
+	Compute float64 // virtual time spent in Compute
+	Send    float64 // virtual time charged for outgoing transfers
+	// RecvWait is the virtual time spent blocked in Recv behind a
+	// message that had not yet arrived.
+	RecvWait float64
+	// Idle is the rank's total idle time relative to the parallel
+	// completion: RecvWait plus the tail between the rank's final clock
+	// and Tp.
+	Idle float64
+	// Finish is the rank's final clock (max over ranks = Tp).
+	Finish     float64
+	MsgsSent   int
+	MsgsRecvd  int
+	WordsSent  int // includes zero-cost bookkeeping transfers
+	WordsRecvd int
+}
+
+// LinkMetrics is the charged traffic carried by one directed logical
+// link (sender rank → destination rank). Zero-cost transfers
+// (verification gathers, barriers) do not appear. Busy is the virtual
+// time the link spent carrying those messages; Busy/Tp is the link's
+// utilization.
+type LinkMetrics struct {
+	From  int
+	To    int
+	Msgs  int
+	Words int
+	Busy  float64
+}
+
+// Utilization returns the fraction of the run the link was busy.
+func (l LinkMetrics) Utilization(tp float64) float64 {
+	if tp <= 0 {
+		return 0
+	}
+	return l.Busy / tp
+}
+
+// Metrics is the per-rank and per-link breakdown of one simulation,
+// recorded at zero virtual cost. It is populated on Result when the
+// machine has CollectMetrics set. All slices are deterministically
+// ordered (Ranks by rank, Links by (From, To)), so two runs of the same
+// configuration produce identical Metrics.
+type Metrics struct {
+	P     int
+	Tp    float64
+	Ranks []RankMetrics
+	Links []LinkMetrics
+}
+
+// buildMetrics assembles the Metrics of a finished run.
+func buildMetrics(procs []*Proc, tp float64) *Metrics {
+	m := &Metrics{P: len(procs), Tp: tp, Ranks: make([]RankMetrics, len(procs))}
+	for i, pr := range procs {
+		m.Ranks[i] = RankMetrics{
+			Rank:       i,
+			Compute:    pr.computeTime,
+			Send:       pr.commTime,
+			RecvWait:   pr.recvWait,
+			Idle:       pr.recvWait + (tp - pr.clock),
+			Finish:     pr.clock,
+			MsgsSent:   pr.msgsSent,
+			MsgsRecvd:  pr.msgsRecvd,
+			WordsSent:  pr.wordsSent,
+			WordsRecvd: pr.wordsRecvd,
+		}
+		for dst, l := range pr.links {
+			m.Links = append(m.Links, LinkMetrics{From: i, To: dst, Msgs: l.msgs, Words: l.words, Busy: l.busy})
+		}
+	}
+	sort.Slice(m.Links, func(a, b int) bool {
+		if m.Links[a].From != m.Links[b].From {
+			return m.Links[a].From < m.Links[b].From
+		}
+		return m.Links[a].To < m.Links[b].To
+	})
+	return m
+}
+
+// TotalCompute returns Σᵢ Computeᵢ.
+func (m *Metrics) TotalCompute() float64 {
+	var s float64
+	for _, r := range m.Ranks {
+		s += r.Compute
+	}
+	return s
+}
+
+// TotalComm returns Σᵢ Sendᵢ.
+func (m *Metrics) TotalComm() float64 {
+	var s float64
+	for _, r := range m.Ranks {
+		s += r.Send
+	}
+	return s
+}
+
+// TotalIdle returns Σᵢ Idleᵢ.
+func (m *Metrics) TotalIdle() float64 {
+	var s float64
+	for _, r := range m.Ranks {
+		s += r.Idle
+	}
+	return s
+}
+
+// CriticalRank returns the lowest rank whose finish time equals Tp —
+// the processor on the critical path of the run.
+func (m *Metrics) CriticalRank() int {
+	for _, r := range m.Ranks {
+		if r.Finish >= m.Tp {
+			return r.Rank
+		}
+	}
+	return 0
+}
+
+// CommComputeRatio returns TotalComm/TotalCompute (0 when no compute
+// was charged).
+func (m *Metrics) CommComputeRatio() float64 {
+	c := m.TotalCompute()
+	if c == 0 {
+		return 0
+	}
+	return m.TotalComm() / c
+}
+
+// LoadImbalance returns max busy time over mean busy time across ranks
+// (busy = compute + send); 1.0 means perfectly balanced, larger values
+// mean the critical rank carries proportionally more work.
+func (m *Metrics) LoadImbalance() float64 {
+	var sum, max float64
+	for _, r := range m.Ranks {
+		busy := r.Compute + r.Send
+		sum += busy
+		if busy > max {
+			max = busy
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	mean := sum / float64(len(m.Ranks))
+	if mean == 0 {
+		return 1
+	}
+	return max / mean
+}
+
+// Overhead returns the measured total overhead To = p·Tp − W for
+// problem size w — the quantity all of the paper's scalability analysis
+// is built on.
+func (m *Metrics) Overhead(w float64) float64 { return float64(m.P)*m.Tp - w }
+
+// WriteRanksCSV writes the per-rank table as CSV with a header row.
+func (m *Metrics) WriteRanksCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "rank,compute,send,recv_wait,idle,finish,msgs_sent,msgs_recvd,words_sent,words_recvd"); err != nil {
+		return err
+	}
+	for _, r := range m.Ranks {
+		if _, err := fmt.Fprintf(w, "%d,%g,%g,%g,%g,%g,%d,%d,%d,%d\n",
+			r.Rank, r.Compute, r.Send, r.RecvWait, r.Idle, r.Finish,
+			r.MsgsSent, r.MsgsRecvd, r.WordsSent, r.WordsRecvd); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteLinksCSV writes the per-link table as CSV with a header row.
+func (m *Metrics) WriteLinksCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "from,to,msgs,words,busy,utilization"); err != nil {
+		return err
+	}
+	for _, l := range m.Links {
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%g,%g\n",
+			l.From, l.To, l.Msgs, l.Words, l.Busy, l.Utilization(m.Tp)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -47,6 +47,7 @@ package simulator
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"matscale/internal/machine"
@@ -152,13 +153,47 @@ type Proc struct {
 
 	clock          float64
 	computeTime    float64
-	commTime       float64
+	commTime       float64 // time charged for outgoing transfers
+	recvWait       float64 // time blocked in Recv behind a later arrival
 	contentionWait float64
-	msgs           int
-	words          int
+	msgsSent       int
+	msgsRecvd      int
+	wordsSent      int
+	wordsRecvd     int
+
+	// links aggregates charged outgoing traffic per destination rank
+	// when the machine requests metrics. Zero-cost transfers
+	// (verification gathers, barriers) are excluded: they are
+	// bookkeeping, not modeled communication, and would distort link
+	// utilization.
+	links map[int]*linkAgg
 
 	tracing bool
 	trace   []Event
+}
+
+// linkAgg accumulates the charged traffic of one directed link.
+type linkAgg struct {
+	msgs  int
+	words int
+	busy  float64
+}
+
+// chargeLink records a charged transfer of words to dst that occupied
+// the link for busy virtual time units. No virtual cost is added here:
+// metrics observe the simulation, they never perturb it.
+func (p *Proc) chargeLink(dst, words int, busy float64) {
+	if p.links == nil {
+		return
+	}
+	l := p.links[dst]
+	if l == nil {
+		l = &linkAgg{}
+		p.links[dst] = l
+	}
+	l.msgs++
+	l.words += words
+	l.busy += busy
 }
 
 func (p *Proc) record(e Event) {
@@ -289,6 +324,12 @@ func (p *Proc) SendMulti(ts []Transfer) {
 		p.record(Event{Kind: EventSend, Peer: -1, Tag: -1, Words: words, Start: start, End: p.clock})
 	}
 	for _, t := range ts {
+		// Each link carries its own transfer for that transfer's
+		// duration, regardless of how the sender is charged (max on
+		// all-port, sum on one-port).
+		if c := p.r.mach.MsgTime(len(t.Data), p.rank, t.Dst); c > 0 {
+			p.chargeLink(t.Dst, len(t.Data), c)
+		}
 		p.deliver(t.Dst, t.Tag, t.Data)
 	}
 }
@@ -299,6 +340,7 @@ func (p *Proc) sendInternal(dst, tag int, data []float64, cost float64) {
 	p.commTime += cost
 	if cost > 0 {
 		p.record(Event{Kind: EventSend, Peer: dst, Tag: tag, Words: len(data), Start: start, End: p.clock})
+		p.chargeLink(dst, len(data), cost)
 	}
 	p.deliver(dst, tag, data)
 }
@@ -307,8 +349,8 @@ func (p *Proc) deliver(dst, tag int, data []float64) {
 	if dst < 0 || dst >= p.r.p {
 		panic(fmt.Sprintf("simulator: send to rank %d outside [0,%d)", dst, p.r.p))
 	}
-	p.msgs++
-	p.words += len(data)
+	p.msgsSent++
+	p.wordsSent += len(data)
 	cp := make([]float64, len(data))
 	copy(cp, data)
 	k := msgKey{dst: dst, src: p.rank, tag: tag}
@@ -355,8 +397,11 @@ func (p *Proc) Recv(src, tag int) []float64 {
 	}
 	r.inFlight--
 	r.mu.Unlock()
+	p.msgsRecvd++
+	p.wordsRecvd += len(m.data)
 	if m.arrival > p.clock {
 		p.record(Event{Kind: EventIdle, Peer: src, Tag: tag, Start: p.clock, End: m.arrival})
+		p.recvWait += m.arrival - p.clock
 		p.clock = m.arrival
 	}
 	p.record(Event{Kind: EventRecv, Peer: src, Tag: tag, Words: len(m.data), Start: p.clock, End: p.clock})
@@ -392,6 +437,15 @@ type Result struct {
 	// contention-tracking machines for the paper's algorithms, whose
 	// routes are link-disjoint by construction).
 	ContentionWait float64
+
+	// Metrics is the per-rank/per-link breakdown of the run, populated
+	// when the machine has CollectMetrics set (nil otherwise).
+	// Collecting it charges zero virtual time.
+	Metrics *Metrics
+	// Trace is the ordered event history, populated when the machine
+	// has CollectTrace set or the run was started via RunTraced (nil
+	// otherwise). Tracing charges zero virtual time.
+	Trace *Trace
 }
 
 // IdleTime returns the total idle time across processors relative to
@@ -419,10 +473,10 @@ func Run(m *machine.Machine, body func(*Proc)) (*Result, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	return runInternal(m, body, nil)
+	return runInternal(m, body, m.CollectTrace)
 }
 
-func runInternal(m *machine.Machine, body func(*Proc), collector *traceCollector) (*Result, error) {
+func runInternal(m *machine.Machine, body func(*Proc), collectTrace bool) (*Result, error) {
 	p := m.P()
 	r := &run{mach: m, p: p, queues: make(map[msgKey][]message), waiting: make(map[int]msgKey), alive: p}
 	if m.TrackContention {
@@ -437,7 +491,10 @@ func runInternal(m *machine.Machine, body func(*Proc), collector *traceCollector
 	var wg sync.WaitGroup
 	wg.Add(p)
 	for i := 0; i < p; i++ {
-		procs[i] = &Proc{rank: i, r: r, tracing: collector != nil}
+		procs[i] = &Proc{rank: i, r: r, tracing: collectTrace}
+		if m.CollectMetrics {
+			procs[i].links = make(map[int]*linkAgg)
+		}
 		go func(pr *Proc) {
 			defer wg.Done()
 			defer func() {
@@ -486,14 +543,24 @@ func runInternal(m *machine.Machine, body func(*Proc), collector *traceCollector
 		res.TotalCompute += pr.computeTime
 		res.TotalComm += pr.commTime
 		res.ContentionWait += pr.contentionWait
-		res.Messages += pr.msgs
-		res.Words += pr.words
+		res.Messages += pr.msgsSent
+		res.Words += pr.wordsSent
 	}
-	if collector != nil {
-		collector.perProc = make([][]Event, p)
-		for i, pr := range procs {
-			collector.perProc[i] = pr.trace
+	if m.CollectMetrics {
+		res.Metrics = buildMetrics(procs, res.Tp)
+	}
+	if collectTrace {
+		events := make([]Event, 0)
+		for _, pr := range procs {
+			events = append(events, pr.trace...)
 		}
+		sort.SliceStable(events, func(i, j int) bool {
+			if events[i].Rank != events[j].Rank {
+				return events[i].Rank < events[j].Rank
+			}
+			return events[i].Start < events[j].Start
+		})
+		res.Trace = &Trace{P: p, Tp: res.Tp, Events: events}
 	}
 	return res, nil
 }

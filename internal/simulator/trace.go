@@ -2,7 +2,6 @@ package simulator
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"matscale/internal/machine"
@@ -114,32 +113,9 @@ func RunTraced(m *machine.Machine, body func(*Proc)) (*Result, *Trace, error) {
 	if err := m.Validate(); err != nil {
 		return nil, nil, err
 	}
-	collector := &traceCollector{}
-	res, err := runInternal(m, body, collector)
+	res, err := runInternal(m, body, true)
 	if err != nil {
 		return nil, nil, err
 	}
-	tr := &Trace{P: res.P, Tp: res.Tp, Events: collector.drain()}
-	sort.SliceStable(tr.Events, func(i, j int) bool {
-		if tr.Events[i].Rank != tr.Events[j].Rank {
-			return tr.Events[i].Rank < tr.Events[j].Rank
-		}
-		return tr.Events[i].Start < tr.Events[j].Start
-	})
-	return res, tr, nil
-}
-
-// traceCollector gathers events from all processors. Each Proc appends
-// to its own slice; no synchronization is needed beyond the final
-// drain, which happens after the WaitGroup barrier.
-type traceCollector struct {
-	perProc [][]Event
-}
-
-func (c *traceCollector) drain() []Event {
-	var out []Event
-	for _, evs := range c.perProc {
-		out = append(out, evs...)
-	}
-	return out
+	return res, res.Trace, nil
 }

@@ -33,14 +33,10 @@
 package matscale
 
 import (
-	"fmt"
-
 	"matscale/internal/core"
 	"matscale/internal/machine"
 	"matscale/internal/matrix"
 	"matscale/internal/model"
-	"matscale/internal/regions"
-	"matscale/internal/shm"
 )
 
 // Core types, re-exported.
@@ -78,8 +74,17 @@ var (
 
 // ParallelMul multiplies on the host machine with real goroutine
 // workers (0 = all CPUs) — the library's non-simulated fast path.
+//
+// Deprecated: ParallelMul panics on an inner-dimension mismatch. Use
+// HostMul, which returns an error instead:
+//
+//	c, err := matscale.HostMul(a, b, matscale.WithWorkers(n))
 func ParallelMul(a, b *Matrix, workers int) *Matrix {
-	return shm.Mul(a, b, workers, 0)
+	c, err := HostMul(a, b, WithWorkers(workers))
+	if err != nil {
+		panic("matscale: " + err.Error())
+	}
+	return c
 }
 
 // Machine presets (Sections 6 and 9 of the paper).
@@ -134,56 +139,30 @@ var (
 
 // DNSWithGrid runs the DNS algorithm on a block grid coarser than one
 // element per processor.
+//
+// Deprecated: use Run with the WithDNSGrid option, which composes with
+// the other observability options:
+//
+//	res, err := matscale.Run(matscale.DNS, m, a, b, matscale.WithDNSGrid(q))
 var DNSWithGrid = core.DNSWithGrid
 
 // Choose returns the algorithm the paper's Section 6 analysis predicts
 // to be fastest for multiplying n×n matrices on m, along with its
-// name. It compares the Table 1 overhead functions of the applicable
-// algorithms.
+// name. It is a compatibility wrapper around Select, which additionally
+// reports the model-predicted parallel time.
 func Choose(m *Machine, n int) (Algorithm, string) {
-	letter := regions.Best(Params{Ts: m.Ts, Tw: m.Tw}, float64(n), float64(m.P()))
-	switch letter {
-	case 'b':
-		return core.Berntsen, "Berntsen"
-	case 'c':
-		return core.Cannon, "Cannon"
-	case 'd':
-		return core.DNS, "DNS"
-	default: // 'a', serial (p=1, any algorithm degenerates), infeasible
-		return core.GK, "GK"
-	}
+	s := Select(m, n)
+	return s.Algorithm, s.Name
 }
 
 // AutoMul realizes the paper's concluding suggestion: it picks the
 // predicted-fastest applicable algorithm for (m, n) and runs it,
 // falling back along the overhead ordering when the preferred
 // formulation's structural requirements (perfect square/cube processor
-// counts, divisibility) do not hold for this exact configuration.
+// counts, divisibility) do not hold for this exact configuration. It is
+// a compatibility wrapper around RunAuto, which returns the typed
+// Selection and accepts observability options.
 func AutoMul(m *Machine, a, b *Matrix) (*Result, string, error) {
-	if a.Rows != a.Cols || b.Rows != b.Cols || a.Rows != b.Rows {
-		return nil, "", fmt.Errorf("matscale: AutoMul needs equal square matrices, got %dx%d and %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
-	}
-	first, firstName := Choose(m, a.Rows)
-	type cand struct {
-		name string
-		alg  Algorithm
-	}
-	candidates := []cand{{firstName, first}}
-	for _, c := range []cand{
-		{"GK", core.GK}, {"Berntsen", core.Berntsen}, {"Cannon", core.Cannon},
-		{"Simple", core.Simple}, {"DNS", core.DNS}, {"Fox", core.Fox},
-	} {
-		if c.name != firstName {
-			candidates = append(candidates, c)
-		}
-	}
-	var lastErr error
-	for _, c := range candidates {
-		res, err := c.alg(m, a, b)
-		if err == nil {
-			return res, c.name, nil
-		}
-		lastErr = err
-	}
-	return nil, "", fmt.Errorf("matscale: no algorithm accepts n=%d on %s: %w", a.Rows, m, lastErr)
+	res, sel, err := RunAuto(m, a, b)
+	return res, sel.Name, err
 }
