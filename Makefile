@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke verify repro clean
+.PHONY: all build test race bench bench-smoke bench-json lint fuzz cover verify repro clean
 
 all: build test
 
@@ -21,6 +21,27 @@ bench:
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
+# The CI bench protocol: short repeated runs plus the JSON archive.
+bench-json:
+	$(GO) test -bench=. -benchtime=3x -count=2 -run='^$$' ./... | tee bench_pr.txt
+	$(GO) run ./scripts/bench2json -in bench_pr.txt -out BENCH_pr.json
+
+# Same linters as CI (.golangci.yml); requires golangci-lint on PATH.
+lint:
+	golangci-lint run
+
+# The CI fuzz targets, briefly.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) -run='^$$' ./internal/faults
+	$(GO) test -fuzz=FuzzRandomPrograms -fuzztime=$(FUZZTIME) -run='^$$' ./internal/simulator
+	$(GO) test -fuzz=FuzzFaultedPrograms -fuzztime=$(FUZZTIME) -run='^$$' ./internal/simulator
+
+# Coverage with the CI floor check (75% of statements in internal/...).
+cover:
+	$(GO) test -coverprofile=coverage.out -covermode=atomic ./internal/...
+	$(GO) tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $$3); print "total: " $$3 "%"; if ($$3 + 0 < 75) { print "coverage fell below the 75% floor"; exit 1 }}'
+
 # End-to-end self-check: every algorithm vs its paper equation.
 verify:
 	$(GO) run ./cmd/matscale verify
@@ -30,4 +51,4 @@ repro:
 	$(GO) run ./cmd/matscale all | tee REPRODUCTION.txt
 
 clean:
-	rm -f REPRODUCTION.txt test_output.txt bench_output.txt
+	rm -f REPRODUCTION.txt test_output.txt bench_output.txt bench_pr.txt coverage.out

@@ -6,6 +6,7 @@ import (
 	"reflect"
 
 	"matscale/internal/core"
+	"matscale/internal/faults"
 	"matscale/internal/model"
 	"matscale/internal/regions"
 	"matscale/internal/shm"
@@ -28,7 +29,22 @@ type (
 	// exports to Chrome trace_event JSON (WriteChromeTrace), CSV
 	// (WriteCSV) and an ASCII timeline (Timeline).
 	Trace = simulator.Trace
+	// Faults is a seeded, deterministic perturbation of the virtual
+	// machine: per-rank compute slowdowns (stragglers), per-link
+	// latency/bandwidth perturbation, and probabilistic message loss
+	// repaired by timeout + bounded retry. Attach one to a run with
+	// WithFaults; see docs/FAULTS.md for the model and grammar.
+	Faults = faults.Config
+	// Degradation attributes fault-induced overhead to its sources
+	// (straggler-inflated compute vs retry-inflated communication);
+	// populated on Metrics when a run executes under enabled faults.
+	Degradation = simulator.Degradation
 )
+
+// ParseFaults builds a fault scenario from the textual grammar the CLI
+// accepts, e.g. "straggler=3@rank7,loss=0.01,seed=42". See
+// docs/FAULTS.md for the full grammar.
+var ParseFaults = faults.Parse
 
 // Option configures a Run, RunAuto or HostMul call.
 type Option func(*runConfig)
@@ -38,6 +54,7 @@ type runConfig struct {
 	traceSink io.Writer
 	dnsGrid   int
 	workers   int
+	faults    *faults.Config
 }
 
 func newRunConfig(opts []Option) runConfig {
@@ -82,17 +99,38 @@ func WithWorkers(n int) Option {
 	return func(c *runConfig) { c.workers = n }
 }
 
+// WithFaults runs the algorithm on a deterministically perturbed
+// machine: f's stragglers slow per-rank compute, its link factors and
+// jitter scale transfer costs, and its loss rate forces timeout +
+// bounded-retry retransmissions, all charged at the ts/tw cost model so
+// the damage appears in the measured To = p·Tp − W. A fixed (machine,
+// faults, program) triple reproduces byte-identical results. Combine
+// with WithMetrics to get the Degradation breakdown of the damage:
+//
+//	f, _ := matscale.ParseFaults("straggler=2@rank0,seed=42")
+//	res, err := matscale.Run(matscale.GK, matscale.NCube2(64), a, b,
+//	        matscale.WithFaults(f), matscale.WithMetrics())
+//	// res.Metrics.Degradation attributes the extra overhead.
+//
+// A nil f is a no-op. The caller's machine is never mutated.
+func WithFaults(f *Faults) Option {
+	return func(c *runConfig) { c.faults = f }
+}
+
 // machineFor returns the machine the algorithm should run on: m
-// itself when no observability was requested, otherwise a copy with
-// the collection flags raised, so the caller's machine is never
-// mutated.
+// itself when no observability or faults were requested, otherwise a
+// copy with the collection flags raised and the fault scenario
+// attached, so the caller's machine is never mutated.
 func (c runConfig) machineFor(m *Machine) *Machine {
-	if !c.metrics && c.traceSink == nil {
+	if !c.metrics && c.traceSink == nil && c.faults == nil {
 		return m
 	}
 	mm := *m
 	mm.CollectMetrics = mm.CollectMetrics || c.metrics
 	mm.CollectTrace = mm.CollectTrace || c.traceSink != nil
+	if c.faults != nil {
+		mm.Faults = c.faults
+	}
 	return &mm
 }
 

@@ -208,3 +208,114 @@ func TestParallelMulStillPanicsOnMismatch(t *testing.T) {
 	}()
 	matscale.ParallelMul(matscale.NewMatrix(3, 4), matscale.NewMatrix(5, 3), 1)
 }
+
+// intMatrix builds a matrix of small integers so parallel and serial
+// products compare exactly regardless of summation order.
+func intMatrix(n int, seed uint64) *matscale.Matrix {
+	m := matscale.NewMatrix(n, n)
+	state := seed
+	for i := range m.Data {
+		state = state*6364136223846793005 + 1442695040888963407
+		m.Data[i] = float64(state >> 60) // 0..15
+	}
+	return m
+}
+
+func TestRunWithFaults(t *testing.T) {
+	m := matscale.NCube2(64)
+	a := intMatrix(16, 1)
+	b := intMatrix(16, 2)
+	clean, err := matscale.Run(matscale.GK, m, a, b, matscale.WithMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := matscale.ParseFaults("straggler=2@rank0,seed=42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulted, err := matscale.Run(matscale.GK, m, a, b,
+		matscale.WithFaults(f), matscale.WithMetrics())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The product is unaffected; only the timing degrades.
+	want := matscale.Mul(a, b)
+	for i := range want.Data {
+		if faulted.C.Data[i] != want.Data[i] {
+			t.Fatal("faulted product differs from serial")
+		}
+	}
+	if faulted.Overhead() <= clean.Overhead() {
+		t.Fatalf("faulted To %v not above clean %v", faulted.Overhead(), clean.Overhead())
+	}
+	d := faulted.Metrics.Degradation
+	if d == nil {
+		t.Fatal("no Degradation block with WithFaults+WithMetrics")
+	}
+	if len(d.StraggledRanks) != 1 || d.StraggledRanks[0] != 0 {
+		t.Fatalf("StraggledRanks = %v, want [0]", d.StraggledRanks)
+	}
+	if clean.Metrics.Degradation != nil {
+		t.Fatal("clean run has a Degradation block")
+	}
+	// The caller's machine is never mutated.
+	if m.Faults != nil || m.CollectMetrics {
+		t.Fatal("Run mutated the caller's machine")
+	}
+}
+
+func TestWithFaultsDeterministic(t *testing.T) {
+	a := matscale.RandomMatrix(16, 16, 3)
+	b := matscale.RandomMatrix(16, 16, 4)
+	f, err := matscale.ParseFaults("stragglers=0.25:3,loss=0.02,jitter=0.2,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *matscale.Result {
+		res, err := matscale.Run(matscale.Cannon, matscale.NCube2(16), a, b,
+			matscale.WithFaults(f), matscale.WithMetrics())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	first, second := run(), run()
+	if first.Sim.Tp != second.Sim.Tp {
+		t.Fatalf("Tp differs across identical faulted runs: %v vs %v", first.Sim.Tp, second.Sim.Tp)
+	}
+	var b1, b2 bytes.Buffer
+	if err := first.Metrics.WriteRanksCSV(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := second.Metrics.WriteRanksCSV(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("metrics bytes differ across identical faulted runs")
+	}
+}
+
+func TestWithFaultsNilIsNoop(t *testing.T) {
+	a := matscale.RandomMatrix(16, 16, 5)
+	b := matscale.RandomMatrix(16, 16, 6)
+	plain, err := matscale.Run(matscale.Cannon, matscale.NCube2(16), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withNil, err := matscale.Run(matscale.Cannon, matscale.NCube2(16), a, b, matscale.WithFaults(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Sim.Tp != withNil.Sim.Tp {
+		t.Fatalf("nil faults changed Tp: %v vs %v", plain.Sim.Tp, withNil.Sim.Tp)
+	}
+}
+
+func TestRunRejectsInvalidFaults(t *testing.T) {
+	a := matscale.RandomMatrix(16, 16, 5)
+	b := matscale.RandomMatrix(16, 16, 6)
+	bad := &matscale.Faults{Loss: 2}
+	if _, err := matscale.Run(matscale.Cannon, matscale.NCube2(16), a, b, matscale.WithFaults(bad)); err == nil {
+		t.Fatal("invalid fault config accepted")
+	}
+}

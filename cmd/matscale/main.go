@@ -12,6 +12,9 @@
 //	                    -n 64 -p 64 [-machine ncube2|fast|simd|cm5]
 //	                    [-a A.csv -b B.csv -out C.csv]
 //	                    [-metrics] [-trace out.json] [-grid q]
+//	                    [-faults 'straggler=3@rank7,loss=0.01,seed=42']
+//	matscale robust     [-n 16 -p 64 -machine ncube2]
+//	                    [-faults 'straggler=2@rank0,seed=42']
 //	matscale isoeff     [-ts 150 -tw 3 -e 0.5]
 //	matscale compare    [-ts 150 -tw 3]
 //	matscale allport    [-ts 10 -tw 3]
@@ -56,6 +59,8 @@ func main() {
 		err = cmdEfficiency(args)
 	case "run":
 		err = cmdRun(args)
+	case "robust":
+		err = cmdRobust(args)
 	case "isoeff":
 		err = cmdIsoeff(args)
 	case "compare":
@@ -101,6 +106,7 @@ commands:
   regions      Figures 1-3: best-algorithm region maps
   efficiency   Figures 4-5: CM-5 efficiency curves and crossover
   run          run one algorithm (or -alg auto) on a simulated machine
+  robust       compare formulations clean vs under an injected fault scenario
   isoeff       numeric isoefficiency curves for all algorithms
   compare      Section 6: pairwise crossover analysis
   allport      Section 7: all-port communication scalability
@@ -183,22 +189,12 @@ func cmdRun(args []string) error {
 	metrics := fs.Bool("metrics", false, "print the per-rank/per-link breakdown (To decomposition)")
 	traceFile := fs.String("trace", "", "write a Chrome trace_event JSON to this file (chrome://tracing, Perfetto)")
 	grid := fs.Int("grid", 0, "DNS block-grid side (runs DNS with WithDNSGrid; requires -alg dns)")
+	faultSpec := fs.String("faults", "", "fault scenario, e.g. 'straggler=3@rank7,loss=0.01,seed=42' (see docs/FAULTS.md)")
 	fs.Parse(args)
 
-	var m *matscale.Machine
-	switch *machineName {
-	case "ncube2":
-		m = matscale.NCube2(*p)
-	case "fast":
-		m = matscale.FutureHypercube(*p)
-	case "simd":
-		m = matscale.SIMD(*p)
-	case "cm5":
-		m = matscale.CM5(*p)
-	case "custom":
-		m = matscale.Hypercube(*p, *ts, *tw)
-	default:
-		return fmt.Errorf("unknown machine %q", *machineName)
+	m, err := machineForPreset(*machineName, *p, *ts, *tw)
+	if err != nil {
+		return err
 	}
 
 	a := matscale.RandomMatrix(*n, *n, *seed)
@@ -235,9 +231,15 @@ func cmdRun(args []string) error {
 	if *grid > 0 {
 		opts = append(opts, matscale.WithDNSGrid(*grid))
 	}
+	if *faultSpec != "" {
+		fc, err := matscale.ParseFaults(*faultSpec)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, matscale.WithFaults(fc))
+	}
 
 	var res *matscale.Result
-	var err error
 	name := *algName
 	if name == "auto" && *grid == 0 {
 		var sel matscale.Selection
@@ -281,6 +283,9 @@ func cmdRun(args []string) error {
 	fmt.Printf("efficiency: %.4f\n", res.Efficiency())
 	fmt.Printf("overhead:   %.1f (To = p·Tp − W)\n", res.Overhead())
 	fmt.Printf("messages:   %d (%d words moved)\n", res.Sim.Messages, res.Sim.Words)
+	if *faultSpec != "" {
+		fmt.Printf("faults:     %s (%d retries, %.1f retry time)\n", *faultSpec, res.Sim.Retries, res.Sim.RetryTime)
+	}
 	fmt.Printf("verified:   max |C - serial| = %g\n", maxDiff)
 	if *metrics && res.Metrics != nil {
 		printMetrics(res.Metrics)
@@ -297,6 +302,96 @@ func cmdRun(args []string) error {
 	return nil
 }
 
+// machineForPreset builds the simulated machine the run/robust commands
+// share: a named preset, or a custom hypercube from -ts/-tw.
+func machineForPreset(name string, p int, ts, tw float64) (*matscale.Machine, error) {
+	switch name {
+	case "ncube2":
+		return matscale.NCube2(p), nil
+	case "fast":
+		return matscale.FutureHypercube(p), nil
+	case "simd":
+		return matscale.SIMD(p), nil
+	case "cm5":
+		return matscale.CM5(p), nil
+	case "custom":
+		return matscale.Hypercube(p, ts, tw), nil
+	default:
+		return nil, fmt.Errorf("unknown machine %q", name)
+	}
+}
+
+// cmdRobust answers "how robust is each formulation to this fault
+// scenario": it runs every applicable algorithm clean and under the
+// injected faults on the same machine and matrices, and tabulates the
+// slowdown, retry overhead, and critical-rank shift per formulation.
+func cmdRobust(args []string) error {
+	fs := flag.NewFlagSet("robust", flag.ExitOnError)
+	n := fs.Int("n", 16, "matrix dimension")
+	p := fs.Int("p", 64, "processors")
+	machineName := fs.String("machine", "ncube2", "machine preset: ncube2, fast, simd, cm5, custom")
+	ts, tw := paramFlags(fs, 150, 3)
+	seed := fs.Uint64("seed", 1, "matrix seed")
+	faultSpec := fs.String("faults", "straggler=2@rank0,seed=42", "fault scenario to inject (see docs/FAULTS.md)")
+	fs.Parse(args)
+
+	m, err := machineForPreset(*machineName, *p, *ts, *tw)
+	if err != nil {
+		return err
+	}
+	fc, err := matscale.ParseFaults(*faultSpec)
+	if err != nil {
+		return err
+	}
+	a := matscale.RandomMatrix(*n, *n, *seed)
+	b := matscale.RandomMatrix(*n, *n, *seed+1)
+
+	fmt.Printf("robustness of the formulations on %s, n=%d\n", m, *n)
+	fmt.Printf("faults: %s\n\n", *faultSpec)
+	fmt.Printf("%-10s %12s %12s %9s %8s %11s %9s\n",
+		"algorithm", "clean Tp", "faulted Tp", "slowdown", "retries", "retry time", "crit rank")
+	// DNS needs p ≥ n² at one element per processor; on smaller machines
+	// run it on its q×q×q block grid when p is a perfect cube.
+	var dnsOpts []matscale.Option
+	if q := int(math.Round(math.Cbrt(float64(*p)))); q*q*q == *p && *p < *n**n && *n%q == 0 {
+		dnsOpts = append(dnsOpts, matscale.WithDNSGrid(q))
+	}
+	ran := 0
+	for _, c := range []struct {
+		name string
+		alg  matscale.Algorithm
+		opts []matscale.Option
+	}{
+		{"simple", matscale.Simple, nil}, {"cannon", matscale.Cannon, nil},
+		{"fox", matscale.Fox, nil}, {"foxpipe", matscale.FoxPipelined, nil},
+		{"berntsen", matscale.Berntsen, nil}, {"dns", matscale.DNS, dnsOpts},
+		{"gk", matscale.GK, nil},
+	} {
+		clean, err := matscale.Run(c.alg, m, a, b, append(c.opts, matscale.WithMetrics())...)
+		if err != nil {
+			fmt.Printf("%-10s %12s\n", c.name, "n/a: "+err.Error())
+			continue
+		}
+		faulted, err := matscale.Run(c.alg, m, a, b,
+			append(c.opts, matscale.WithFaults(fc), matscale.WithMetrics())...)
+		if err != nil {
+			return fmt.Errorf("%s under faults: %w", c.name, err)
+		}
+		shift := fmt.Sprintf("%d", faulted.Metrics.CriticalRank)
+		if from, to, moved := faulted.Metrics.CriticalRankShift(clean.Metrics.Metrics); moved {
+			shift = fmt.Sprintf("%d→%d", from, to)
+		}
+		fmt.Printf("%-10s %12.1f %12.1f %8.2fx %8d %11.1f %9s\n",
+			c.name, clean.Sim.Tp, faulted.Sim.Tp, faulted.Sim.Tp/clean.Sim.Tp,
+			faulted.Sim.Retries, faulted.Sim.RetryTime, shift)
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no formulation is applicable to n=%d, p=%d", *n, *p)
+	}
+	return nil
+}
+
 // printMetrics renders the per-rank/per-link breakdown collected with
 // WithMetrics: the To decomposition of the run.
 func printMetrics(mt *matscale.Metrics) {
@@ -307,6 +402,13 @@ func printMetrics(mt *matscale.Metrics) {
 	fmt.Printf("  total idle:    %12.1f\n", mt.TotalIdle)
 	fmt.Printf("  comm/compute:  %12.4f\n", mt.CommComputeRatio)
 	fmt.Printf("  load imbal.:   %12.4f (critical rank %d)\n", mt.LoadImbalance, mt.CriticalRank)
+	if d := mt.Degradation; d != nil {
+		fmt.Println()
+		fmt.Println("fault-induced degradation:")
+		fmt.Printf("  straggler extra compute: %12.1f (ranks %v)\n", d.StragglerExtraCompute, d.StraggledRanks)
+		fmt.Printf("  retry comm overhead:     %12.1f (%d retries)\n", d.RetryComm, d.Retries)
+		fmt.Printf("  critical rank:           %12d\n", d.CriticalRank)
+	}
 	fmt.Println()
 	fmt.Printf("%6s %12s %12s %12s %12s %6s %6s %8s %8s\n",
 		"rank", "compute", "send", "recv_wait", "idle", "sent", "recvd", "w_sent", "w_recvd")

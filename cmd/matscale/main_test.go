@@ -367,3 +367,53 @@ func TestCmdTraceGK(t *testing.T) {
 		t.Errorf("gk trace malformed:\n%s", out)
 	}
 }
+
+func TestCmdRunWithFaults(t *testing.T) {
+	out, err := capture(t, func() error {
+		return cmdRun([]string{"-alg", "gk", "-n", "16", "-p", "64",
+			"-faults", "straggler=2@rank0,loss=0.02,seed=42", "-metrics"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"faults:", "fault-induced degradation", "straggler extra compute", "retry comm overhead"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("faulted run output missing %q:\n%s", frag, out)
+		}
+	}
+	// A bad spec must fail cleanly before anything runs.
+	if _, err := capture(t, func() error {
+		return cmdRun([]string{"-alg", "gk", "-n", "16", "-p", "64", "-faults", "loss=2"})
+	}); err == nil {
+		t.Error("invalid fault spec accepted")
+	}
+}
+
+func TestCmdRobust(t *testing.T) {
+	out, err := capture(t, func() error {
+		return cmdRobust([]string{"-n", "16", "-p", "64", "-faults", "straggler=2@rank0,seed=42"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"robustness", "clean Tp", "faulted Tp", "cannon", "gk", "dns"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("robust output missing %q:\n%s", frag, out)
+		}
+	}
+	// Every faulted Tp must exceed its clean Tp: no slowdown at or
+	// below 1.00x may appear.
+	if strings.Contains(out, " 1.00x") || strings.Contains(out, " 0.00x") {
+		t.Errorf("a formulation shows no slowdown under a rank-0 straggler:\n%s", out)
+	}
+	if _, err := capture(t, func() error {
+		return cmdRobust([]string{"-faults", "bogus"})
+	}); err == nil {
+		t.Error("invalid fault spec accepted")
+	}
+	if _, err := capture(t, func() error {
+		return cmdRobust([]string{"-machine", "nope"})
+	}); err == nil {
+		t.Error("unknown machine accepted")
+	}
+}

@@ -1,0 +1,315 @@
+// Package faults defines a seeded, deterministic perturbation model for
+// the virtual machine: per-rank compute slowdowns (stragglers), per-link
+// latency/bandwidth perturbation, and probabilistic message loss
+// repaired by a reliable-delivery layer (timeout + bounded retry with
+// exponential backoff).
+//
+// The paper's analysis (Section 2) assumes an ideal machine: every
+// processor computes at unit speed and every transfer of m words costs
+// exactly ts + tw·m. This package relaxes both assumptions while
+// keeping every run exactly reproducible. All randomness is derived by
+// hashing the configuration seed with stable integer keys (rank for
+// stragglers, the directed (src, dst) pair for link jitter, the
+// (sender, per-sender sequence number) pair for loss), never from
+// global state or iteration order, so a fixed seed yields byte-identical
+// simulations regardless of goroutine scheduling.
+//
+// The perturbations are charged at the machine's ts/tw cost model:
+//   - a straggler with factor f is charged f·w for a computation the
+//     ideal machine charges w, so straggler damage appears as extra
+//     compute time and downstream idle time in To = p·Tp − W;
+//   - a perturbed link multiplies the ts and tw components of every
+//     transfer it carries;
+//   - a lost transmission costs its full transfer time plus a timeout
+//     wait before the retransmission, so loss appears as extra
+//     communication time in To.
+//
+// See docs/FAULTS.md for the model in full and the textual grammar
+// accepted by Parse.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Defaults used when the corresponding Config field is zero.
+const (
+	// DefaultMaxRetries bounds retransmissions per message. With loss
+	// probability q the chance a message exhausts the budget is
+	// q^(DefaultMaxRetries+1): negligible for the loss rates the model
+	// targets, but a genuine delivery failure aborts the run rather
+	// than silently mis-multiplying.
+	DefaultMaxRetries = 8
+	// DefaultBackoff multiplies the retransmission timeout after each
+	// failed attempt.
+	DefaultBackoff = 2.0
+)
+
+// Config describes one deterministic fault scenario. The zero value
+// disables every perturbation; Validate accepts it.
+type Config struct {
+	// Seed drives every random draw. Two runs with equal Config produce
+	// byte-identical simulations.
+	Seed uint64
+
+	// Stragglers maps rank → compute slowdown factor (≥ 1). A factor f
+	// makes every Compute(w) on that rank cost f·w virtual time.
+	// Explicit entries take precedence over the seeded distribution.
+	Stragglers map[int]float64
+	// StragglerProb is the probability that a rank not named in
+	// Stragglers is a straggler, decided per rank from the seed.
+	StragglerProb float64
+	// StragglerMax is the largest factor the seeded distribution can
+	// draw; factors are uniform in [1, StragglerMax]. 0 means 2.
+	StragglerMax float64
+
+	// LatencyFactor multiplies the ts component of every transfer
+	// (0 means 1: unperturbed).
+	LatencyFactor float64
+	// BandwidthFactor multiplies the tw component of every transfer —
+	// a factor of 2 models links delivering half their nominal
+	// bandwidth (0 means 1).
+	BandwidthFactor float64
+	// Jitter adds a per-directed-link multiplicative perturbation drawn
+	// uniform in [1, 1+Jitter] from the seed, applied to both the ts
+	// and tw components. It models heterogeneous interconnect quality.
+	Jitter float64
+
+	// Loss is the probability that one transmission of a charged
+	// message is lost. Lost transmissions are repaired by the
+	// reliable-delivery layer: the sender waits Timeout (growing by
+	// Backoff per attempt) and retransmits, up to MaxRetries times.
+	// Zero-cost transfers (verification gathers, barriers) are exempt:
+	// they are bookkeeping, not modeled communication.
+	Loss float64
+	// Timeout is the virtual time the sender waits before concluding a
+	// transmission was lost. 0 means the transfer time of the message
+	// itself (an RTT-like stand-in at the ts/tw model's scale).
+	Timeout float64
+	// MaxRetries bounds retransmissions per message; exhausting it
+	// aborts the simulation with an error. 0 means DefaultMaxRetries.
+	MaxRetries int
+	// Backoff multiplies the timeout after each failed attempt.
+	// 0 means DefaultBackoff.
+	Backoff float64
+}
+
+// Enabled reports whether the configuration perturbs anything.
+func (c *Config) Enabled() bool {
+	if c == nil {
+		return false
+	}
+	return len(c.Stragglers) > 0 || c.StragglerProb > 0 || c.Loss > 0 ||
+		(c.LatencyFactor != 0 && c.LatencyFactor != 1) ||
+		(c.BandwidthFactor != 0 && c.BandwidthFactor != 1) ||
+		c.Jitter > 0
+}
+
+// Validate reports configuration errors. A nil Config is valid.
+func (c *Config) Validate() error {
+	if c == nil {
+		return nil
+	}
+	for name, v := range map[string]float64{
+		"straggler probability": c.StragglerProb,
+		"straggler max factor":  c.StragglerMax,
+		"loss":                  c.Loss,
+		"latency factor":        c.LatencyFactor,
+		"bandwidth factor":      c.BandwidthFactor,
+		"jitter":                c.Jitter,
+		"timeout":               c.Timeout,
+		"backoff":               c.Backoff,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("faults: %s is %v (want finite)", name, v)
+		}
+	}
+	for rank, f := range c.Stragglers {
+		if rank < 0 {
+			return fmt.Errorf("faults: straggler rank %d is negative", rank)
+		}
+		if f < 1 || math.IsNaN(f) || math.IsInf(f, 0) {
+			return fmt.Errorf("faults: straggler factor %v at rank %d (want ≥ 1)", f, rank)
+		}
+	}
+	if c.StragglerProb < 0 || c.StragglerProb > 1 {
+		return fmt.Errorf("faults: straggler probability %v outside [0,1]", c.StragglerProb)
+	}
+	if c.StragglerMax != 0 && c.StragglerMax < 1 {
+		return fmt.Errorf("faults: straggler max factor %v (want ≥ 1)", c.StragglerMax)
+	}
+	if c.Loss < 0 || c.Loss >= 1 {
+		return fmt.Errorf("faults: loss probability %v outside [0,1)", c.Loss)
+	}
+	if c.LatencyFactor < 0 || c.BandwidthFactor < 0 {
+		return fmt.Errorf("faults: negative link factors lat=%v bw=%v", c.LatencyFactor, c.BandwidthFactor)
+	}
+	if c.Jitter < 0 {
+		return fmt.Errorf("faults: negative jitter %v", c.Jitter)
+	}
+	if c.Timeout < 0 {
+		return fmt.Errorf("faults: negative timeout %v", c.Timeout)
+	}
+	if c.MaxRetries < 0 {
+		return fmt.Errorf("faults: negative retry bound %d", c.MaxRetries)
+	}
+	if c.Backoff != 0 && c.Backoff < 1 {
+		return fmt.Errorf("faults: backoff %v (want ≥ 1)", c.Backoff)
+	}
+	return nil
+}
+
+// Clone returns a deep copy (nil-safe).
+func (c *Config) Clone() *Config {
+	if c == nil {
+		return nil
+	}
+	cp := *c
+	if c.Stragglers != nil {
+		cp.Stragglers = make(map[int]float64, len(c.Stragglers))
+		for k, v := range c.Stragglers {
+			cp.Stragglers[k] = v
+		}
+	}
+	return &cp
+}
+
+// Domain tags keep the hash streams of the three perturbation kinds
+// disjoint: the straggler draw of rank 3 must not correlate with the
+// loss draw of sender 3.
+const (
+	domStraggler uint64 = 1
+	domLink      uint64 = 2
+	domLoss      uint64 = 3
+)
+
+// ComputeFactor returns the compute slowdown factor (≥ 1) of the given
+// rank: the explicit entry if present, otherwise a seeded draw from the
+// (StragglerProb, StragglerMax) distribution, otherwise 1.
+func (c *Config) ComputeFactor(rank int) float64 {
+	if c == nil {
+		return 1
+	}
+	if f, ok := c.Stragglers[rank]; ok {
+		return f
+	}
+	if c.StragglerProb <= 0 {
+		return 1
+	}
+	if unit(c.Seed, domStraggler, uint64(rank), 0) >= c.StragglerProb {
+		return 1
+	}
+	max := c.StragglerMax
+	if max == 0 {
+		max = 2
+	}
+	return 1 + unit(c.Seed, domStraggler, uint64(rank), 1)*(max-1)
+}
+
+// StraggledRanks returns the sorted ranks of [0, p) whose ComputeFactor
+// exceeds 1.
+func (c *Config) StraggledRanks(p int) []int {
+	if c == nil {
+		return nil
+	}
+	var out []int
+	for r := 0; r < p; r++ {
+		if c.ComputeFactor(r) > 1 {
+			out = append(out, r)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// LinkFactors returns the multiplicative perturbations (latF, bwF)
+// applied to the ts and tw components of transfers on the directed
+// logical link src → dst. Both are 1 on an unperturbed machine.
+func (c *Config) LinkFactors(src, dst int) (latF, bwF float64) {
+	latF, bwF = 1, 1
+	if c == nil {
+		return
+	}
+	if c.LatencyFactor > 0 {
+		latF = c.LatencyFactor
+	}
+	if c.BandwidthFactor > 0 {
+		bwF = c.BandwidthFactor
+	}
+	if c.Jitter > 0 {
+		j := 1 + unit(c.Seed, domLink, uint64(src), uint64(dst))*c.Jitter
+		latF *= j
+		bwF *= j
+	}
+	return
+}
+
+// Transmissions returns how many transmissions the seq-th charged
+// message of sender src needs before it is delivered (1 = the first
+// attempt succeeds) and whether delivery succeeds within the retry
+// budget. Keying by the sender's own sequence counter makes the draw
+// independent of goroutine scheduling: each sender's charged sends are
+// ordered by its program alone.
+func (c *Config) Transmissions(src, seq int) (tries int, delivered bool) {
+	if c == nil || c.Loss <= 0 {
+		return 1, true
+	}
+	budget := c.MaxRetries
+	if budget == 0 {
+		budget = DefaultMaxRetries
+	}
+	for attempt := 0; attempt <= budget; attempt++ {
+		if unit(c.Seed, domLoss, uint64(src), uint64(seq)<<8|uint64(attempt)) >= c.Loss {
+			return attempt + 1, true
+		}
+	}
+	return budget + 1, false
+}
+
+// RetryWait returns the timeout the sender waits after its attempt-th
+// failed transmission (attempt counts from 1) of a message whose
+// unperturbed transfer cost is base.
+func (c *Config) RetryWait(base float64, attempt int) float64 {
+	if c == nil {
+		return 0
+	}
+	t := c.Timeout
+	if t == 0 {
+		t = base
+	}
+	b := c.Backoff
+	if b == 0 {
+		b = DefaultBackoff
+	}
+	return t * math.Pow(b, float64(attempt-1))
+}
+
+// RetryCharge returns the total virtual time charged to the sender for
+// delivering a message whose single-transmission cost is base using the
+// given number of transmissions: every transmission is paid in full and
+// every failed one is followed by its timeout wait.
+func (c *Config) RetryCharge(base float64, tries int) float64 {
+	total := float64(tries) * base
+	for i := 1; i < tries; i++ {
+		total += c.RetryWait(base, i)
+	}
+	return total
+}
+
+// unit hashes (seed, domain, a, b) to a uniform float64 in [0, 1).
+func unit(seed, dom, a, b uint64) float64 {
+	h := mix(seed ^ dom*0x9e3779b97f4a7c15)
+	h = mix(h ^ a*0xbf58476d1ce4e5b9)
+	h = mix(h ^ b*0x94d049bb133111eb)
+	return float64(h>>11) / float64(1<<53)
+}
+
+// mix is the splitmix64 finalizer: a bijective avalanche over uint64.
+func mix(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,221 @@
+package faults
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNilConfigIsInert(t *testing.T) {
+	var c *Config
+	if c.Enabled() {
+		t.Fatal("nil config reports enabled")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("nil config invalid: %v", err)
+	}
+	if f := c.ComputeFactor(3); f != 1 {
+		t.Fatalf("nil compute factor = %v", f)
+	}
+	lat, bw := c.LinkFactors(0, 1)
+	if lat != 1 || bw != 1 {
+		t.Fatalf("nil link factors = %v, %v", lat, bw)
+	}
+	tries, ok := c.Transmissions(0, 0)
+	if tries != 1 || !ok {
+		t.Fatalf("nil transmissions = %d, %v", tries, ok)
+	}
+	if c.Clone() != nil {
+		t.Fatal("nil clone not nil")
+	}
+	if got := c.StraggledRanks(8); got != nil {
+		t.Fatalf("nil straggled ranks = %v", got)
+	}
+}
+
+func TestZeroConfigIsInert(t *testing.T) {
+	c := &Config{}
+	if c.Enabled() {
+		t.Fatal("zero config reports enabled")
+	}
+	for r := 0; r < 16; r++ {
+		if f := c.ComputeFactor(r); f != 1 {
+			t.Fatalf("rank %d factor %v", r, f)
+		}
+	}
+}
+
+func TestExplicitStragglersTakePrecedence(t *testing.T) {
+	c := &Config{Seed: 1, Stragglers: map[int]float64{3: 4.5}, StragglerProb: 1, StragglerMax: 2}
+	if f := c.ComputeFactor(3); f != 4.5 {
+		t.Fatalf("explicit factor = %v, want 4.5", f)
+	}
+	// Every other rank straggles via the distribution, factor in [1, 2].
+	for r := 0; r < 8; r++ {
+		if r == 3 {
+			continue
+		}
+		f := c.ComputeFactor(r)
+		if f < 1 || f > 2 {
+			t.Fatalf("rank %d distribution factor %v outside [1,2]", r, f)
+		}
+	}
+}
+
+func TestStragglerDistributionDeterministicAndSeedSensitive(t *testing.T) {
+	a := &Config{Seed: 42, StragglerProb: 0.5, StragglerMax: 3}
+	b := &Config{Seed: 42, StragglerProb: 0.5, StragglerMax: 3}
+	other := &Config{Seed: 43, StragglerProb: 0.5, StragglerMax: 3}
+	same, diff := true, false
+	for r := 0; r < 64; r++ {
+		if a.ComputeFactor(r) != b.ComputeFactor(r) {
+			same = false
+		}
+		if a.ComputeFactor(r) != other.ComputeFactor(r) {
+			diff = true
+		}
+	}
+	if !same {
+		t.Fatal("same seed produced different factors")
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical factors on all 64 ranks")
+	}
+}
+
+func TestStragglerProbabilityRoughlyHolds(t *testing.T) {
+	c := &Config{Seed: 7, StragglerProb: 0.25, StragglerMax: 2}
+	n := 0
+	const p = 4096
+	for r := 0; r < p; r++ {
+		if c.ComputeFactor(r) > 1 {
+			n++
+		}
+	}
+	frac := float64(n) / p
+	if frac < 0.2 || frac > 0.3 {
+		t.Fatalf("straggler fraction %v, want ≈ 0.25", frac)
+	}
+	if got := len(c.StraggledRanks(p)); got != n {
+		t.Fatalf("StraggledRanks found %d, counted %d", got, n)
+	}
+}
+
+func TestLinkFactors(t *testing.T) {
+	c := &Config{Seed: 5, LatencyFactor: 3, BandwidthFactor: 2}
+	lat, bw := c.LinkFactors(0, 1)
+	if lat != 3 || bw != 2 {
+		t.Fatalf("factors = %v, %v, want 3, 2", lat, bw)
+	}
+
+	j := &Config{Seed: 5, Jitter: 0.5}
+	seen := map[float64]bool{}
+	for src := 0; src < 4; src++ {
+		for dst := 0; dst < 4; dst++ {
+			lat, bw := j.LinkFactors(src, dst)
+			if lat != bw {
+				t.Fatalf("jitter-only link %d→%d has lat %v ≠ bw %v", src, dst, lat, bw)
+			}
+			if lat < 1 || lat > 1.5 {
+				t.Fatalf("jitter factor %v outside [1, 1.5]", lat)
+			}
+			seen[lat] = true
+		}
+	}
+	if len(seen) < 8 {
+		t.Fatalf("jitter produced only %d distinct factors over 16 links", len(seen))
+	}
+	// Deterministic per directed link.
+	l1, _ := j.LinkFactors(2, 3)
+	l2, _ := j.LinkFactors(2, 3)
+	if l1 != l2 {
+		t.Fatal("jitter draw not deterministic")
+	}
+}
+
+func TestTransmissionsGeometricAndBounded(t *testing.T) {
+	c := &Config{Seed: 9, Loss: 0.3, MaxRetries: 4}
+	total, retried := 0, 0
+	for seq := 0; seq < 10000; seq++ {
+		tries, ok := c.Transmissions(0, seq)
+		if !ok {
+			if tries != 5 {
+				t.Fatalf("failed delivery used %d tries, want MaxRetries+1 = 5", tries)
+			}
+			continue
+		}
+		if tries < 1 || tries > 5 {
+			t.Fatalf("delivered with %d tries outside [1, 5]", tries)
+		}
+		total++
+		if tries > 1 {
+			retried++
+		}
+	}
+	frac := float64(retried) / float64(total)
+	if frac < 0.25 || frac > 0.35 {
+		t.Fatalf("retry fraction %v, want ≈ 0.3", frac)
+	}
+	// Deterministic in (src, seq).
+	for seq := 0; seq < 50; seq++ {
+		a, _ := c.Transmissions(3, seq)
+		b, _ := c.Transmissions(3, seq)
+		if a != b {
+			t.Fatal("transmission draw not deterministic")
+		}
+	}
+}
+
+func TestRetryChargeAccumulatesTimeouts(t *testing.T) {
+	c := &Config{Loss: 0.1, Timeout: 10, Backoff: 2}
+	// 3 transmissions of a cost-100 message: 300 paid transfers plus
+	// timeouts 10 and 20 after the two failures.
+	if got := c.RetryCharge(100, 3); got != 330 {
+		t.Fatalf("RetryCharge = %v, want 330", got)
+	}
+	// Defaults: timeout = base cost, backoff = 2.
+	d := &Config{Loss: 0.1}
+	if got := d.RetryCharge(100, 3); got != 600 {
+		t.Fatalf("default RetryCharge = %v, want 600", got)
+	}
+	if got := d.RetryCharge(100, 1); got != 100 {
+		t.Fatalf("clean RetryCharge = %v, want 100", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []*Config{
+		{Stragglers: map[int]float64{0: 0.5}},
+		{Stragglers: map[int]float64{-1: 2}},
+		{Stragglers: map[int]float64{0: math.NaN()}},
+		{StragglerProb: 1.5},
+		{StragglerProb: -0.1},
+		{StragglerMax: 0.5, StragglerProb: 0.5},
+		{Loss: 1},
+		{Loss: -0.1},
+		{LatencyFactor: -1},
+		{BandwidthFactor: -2},
+		{Jitter: -0.5},
+		{Timeout: -1},
+		{MaxRetries: -2},
+		{Backoff: 0.5},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: %+v validated", i, c)
+		}
+	}
+	good := &Config{Seed: 42, Stragglers: map[int]float64{0: 2}, Loss: 0.01}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	c := &Config{Seed: 1, Stragglers: map[int]float64{2: 3}}
+	cp := c.Clone()
+	cp.Stragglers[2] = 9
+	cp.Seed = 7
+	if c.Stragglers[2] != 3 || c.Seed != 1 {
+		t.Fatal("clone shares state with original")
+	}
+}

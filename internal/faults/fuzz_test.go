@@ -1,0 +1,45 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParse exercises the fault-spec parser: it must never panic, and
+// any spec it accepts must produce a valid Config that round-trips
+// through String — the property `matscale run -faults` relies on to
+// echo the canonical spec of a run.
+func FuzzParse(f *testing.F) {
+	f.Add("straggler=3@rank7,loss=0.01,seed=42")
+	f.Add("seed=1,stragglers=0.1:4,jitter=0.2")
+	f.Add("latency=2,bandwidth=1.5,timeout=300,retries=5,backoff=3")
+	f.Add("straggler=2@rank0")
+	f.Add("loss=0.99,retries=1")
+	f.Add(",,,")
+	f.Add("seed=18446744073709551615")
+	f.Add("straggler=1e3@rank999999")
+	f.Fuzz(func(t *testing.T, spec string) {
+		c, err := Parse(spec)
+		if err != nil {
+			return
+		}
+		if verr := c.Validate(); verr != nil {
+			t.Fatalf("Parse(%q) accepted invalid config: %v", spec, verr)
+		}
+		again, err := Parse(c.String())
+		if err != nil {
+			t.Fatalf("Parse(%q).String() = %q does not re-parse: %v", spec, c.String(), err)
+		}
+		if !reflect.DeepEqual(c, again) {
+			t.Fatalf("Parse(%q) round trip differs: %+v vs %+v", spec, c, again)
+		}
+		// The drawing primitives must tolerate any accepted config.
+		for r := 0; r < 4; r++ {
+			if f := c.ComputeFactor(r); f < 1 {
+				t.Fatalf("compute factor %v < 1", f)
+			}
+		}
+		c.LinkFactors(0, 1)
+		c.Transmissions(0, 0)
+	})
+}

@@ -1,0 +1,161 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Parse builds a Config from the textual fault grammar used by the CLI
+// (`matscale run -faults '...'`) and documented in docs/FAULTS.md:
+//
+//	spec  := item (',' item)*
+//	item  := 'seed=' uint64
+//	       | 'straggler=' factor '@rank' rank     explicit straggler (repeatable)
+//	       | 'stragglers=' prob ':' factor        seeded distribution
+//	       | 'loss=' prob                         per-transmission loss
+//	       | 'latency=' factor                    ts multiplier on every link
+//	       | 'bandwidth=' factor                  tw multiplier on every link
+//	       | 'jitter=' amount                     per-link factor in [1, 1+amount]
+//	       | 'timeout=' time                      retransmission timeout (flop units)
+//	       | 'retries=' n                         retry budget per message
+//	       | 'backoff=' factor                    timeout growth per attempt
+//
+// Example: "straggler=3@rank7,loss=0.01,seed=42". Whitespace around
+// items is ignored. Parse validates the result.
+func Parse(spec string) (*Config, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("faults: empty spec")
+	}
+	c := &Config{}
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(item, "=")
+		if !ok {
+			return nil, fmt.Errorf("faults: %q is not key=value", item)
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		var err error
+		switch key {
+		case "seed":
+			c.Seed, err = strconv.ParseUint(val, 10, 64)
+		case "straggler":
+			err = parseStraggler(c, val)
+		case "stragglers":
+			err = parseStragglerDist(c, val)
+		case "loss":
+			c.Loss, err = parseFloat(val)
+		case "latency":
+			c.LatencyFactor, err = parseFloat(val)
+		case "bandwidth":
+			c.BandwidthFactor, err = parseFloat(val)
+		case "jitter":
+			c.Jitter, err = parseFloat(val)
+		case "timeout":
+			c.Timeout, err = parseFloat(val)
+		case "retries":
+			c.MaxRetries, err = strconv.Atoi(val)
+		case "backoff":
+			c.Backoff, err = parseFloat(val)
+		default:
+			return nil, fmt.Errorf("faults: unknown key %q (want seed, straggler, stragglers, loss, latency, bandwidth, jitter, timeout, retries or backoff)", key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("faults: bad %s value %q: %v", key, val, err)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// parseStraggler handles "FACTOR@rankR".
+func parseStraggler(c *Config, val string) error {
+	fs, at, ok := strings.Cut(val, "@")
+	if !ok {
+		return fmt.Errorf("want FACTOR@rankN")
+	}
+	f, err := parseFloat(fs)
+	if err != nil {
+		return err
+	}
+	rs, ok := strings.CutPrefix(at, "rank")
+	if !ok {
+		return fmt.Errorf("want FACTOR@rankN, got %q after @", at)
+	}
+	rank, err := strconv.Atoi(rs)
+	if err != nil {
+		return err
+	}
+	if c.Stragglers == nil {
+		c.Stragglers = make(map[int]float64)
+	}
+	c.Stragglers[rank] = f
+	return nil
+}
+
+// parseStragglerDist handles "PROB:MAXFACTOR".
+func parseStragglerDist(c *Config, val string) error {
+	ps, fs, ok := strings.Cut(val, ":")
+	if !ok {
+		return fmt.Errorf("want PROB:MAXFACTOR")
+	}
+	var err error
+	if c.StragglerProb, err = parseFloat(ps); err != nil {
+		return err
+	}
+	c.StragglerMax, err = parseFloat(fs)
+	return err
+}
+
+func parseFloat(s string) (float64, error) {
+	return strconv.ParseFloat(s, 64)
+}
+
+// String renders the configuration in the grammar Parse accepts, with
+// deterministic item order, so Parse(c.String()) reproduces c. The
+// zero-value items are omitted; a fully zero Config renders as "seed=0"
+// (the grammar has no empty spec).
+func (c *Config) String() string {
+	if c == nil {
+		return ""
+	}
+	var items []string
+	add := func(key string, v float64) {
+		if v != 0 {
+			items = append(items, key+"="+formatFloat(v))
+		}
+	}
+	items = append(items, fmt.Sprintf("seed=%d", c.Seed))
+	ranks := make([]int, 0, len(c.Stragglers))
+	for r := range c.Stragglers {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	for _, r := range ranks {
+		items = append(items, fmt.Sprintf("straggler=%s@rank%d", formatFloat(c.Stragglers[r]), r))
+	}
+	if c.StragglerProb != 0 || c.StragglerMax != 0 {
+		items = append(items, fmt.Sprintf("stragglers=%s:%s", formatFloat(c.StragglerProb), formatFloat(c.StragglerMax)))
+	}
+	add("loss", c.Loss)
+	add("latency", c.LatencyFactor)
+	add("bandwidth", c.BandwidthFactor)
+	add("jitter", c.Jitter)
+	add("timeout", c.Timeout)
+	if c.MaxRetries != 0 {
+		items = append(items, fmt.Sprintf("retries=%d", c.MaxRetries))
+	}
+	add("backoff", c.Backoff)
+	return strings.Join(items, ",")
+}
+
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

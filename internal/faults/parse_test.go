@@ -1,0 +1,102 @@
+package faults
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseIssueExample(t *testing.T) {
+	c, err := Parse("straggler=3@rank7,loss=0.01,seed=42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Config{
+		Seed:       42,
+		Stragglers: map[int]float64{7: 3},
+		Loss:       0.01,
+	}
+	if !reflect.DeepEqual(c, want) {
+		t.Fatalf("parsed %+v, want %+v", c, want)
+	}
+}
+
+func TestParseFullGrammar(t *testing.T) {
+	c, err := Parse(" seed=7 , straggler=2@rank0, straggler=1.5@rank3, stragglers=0.1:4, " +
+		"loss=0.05, latency=2, bandwidth=1.5, jitter=0.2, timeout=300, retries=5, backoff=3 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Config{
+		Seed:          7,
+		Stragglers:    map[int]float64{0: 2, 3: 1.5},
+		StragglerProb: 0.1, StragglerMax: 4,
+		Loss:          0.05,
+		LatencyFactor: 2, BandwidthFactor: 1.5, Jitter: 0.2,
+		Timeout: 300, MaxRetries: 5, Backoff: 3,
+	}
+	if !reflect.DeepEqual(c, want) {
+		t.Fatalf("parsed %+v, want %+v", c, want)
+	}
+	if !c.Enabled() {
+		t.Fatal("parsed config not enabled")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",
+		"   ",
+		"straggler",
+		"straggler=2",
+		"straggler=2@7",
+		"straggler=2@rankx",
+		"straggler=x@rank1",
+		"stragglers=0.1",
+		"stragglers=x:2",
+		"loss=nope",
+		"loss=1.5",
+		"seed=-1",
+		"seed=abc",
+		"retries=1.5",
+		"unknown=1",
+		"straggler=0.5@rank1", // factor < 1 rejected by Validate
+		"backoff=0.1",
+	} {
+		if c, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) = %+v, want error", spec, c)
+		}
+	}
+}
+
+// Every parseable config round-trips through String.
+func TestStringRoundTrip(t *testing.T) {
+	specs := []string{
+		"straggler=3@rank7,loss=0.01,seed=42",
+		"seed=0",
+		"stragglers=0.25:2,seed=9,jitter=0.1",
+		"latency=2,bandwidth=3,timeout=150,retries=4,backoff=2",
+	}
+	for _, spec := range specs {
+		c, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		again, err := Parse(c.String())
+		if err != nil {
+			t.Fatalf("Parse(String(%q) = %q): %v", spec, c.String(), err)
+		}
+		if !reflect.DeepEqual(c, again) {
+			t.Fatalf("round trip of %q: %+v vs %+v", spec, c, again)
+		}
+	}
+}
+
+func TestStringNilAndZero(t *testing.T) {
+	var nilC *Config
+	if s := nilC.String(); s != "" {
+		t.Fatalf("nil String = %q", s)
+	}
+	if s := (&Config{}).String(); s != "seed=0" {
+		t.Fatalf("zero String = %q, want seed=0", s)
+	}
+}

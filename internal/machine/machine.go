@@ -15,6 +15,7 @@ package machine
 import (
 	"fmt"
 
+	"matscale/internal/faults"
 	"matscale/internal/topology"
 )
 
@@ -77,6 +78,22 @@ type Machine struct {
 	// history (simulator.Result.Trace) for timeline rendering and
 	// Chrome-trace export. Zero virtual cost.
 	CollectTrace bool
+	// Faults, when non-nil, perturbs the machine deterministically:
+	// per-rank compute slowdowns, per-link ts/tw perturbation, and
+	// probabilistic message loss repaired by timeout + bounded retry.
+	// All draws derive from the config's seed, so a fixed (machine,
+	// faults, program) triple reproduces byte-identical runs. See
+	// internal/faults and docs/FAULTS.md.
+	Faults *faults.Config
+}
+
+// WithFaults returns a copy of m running under the fault scenario f
+// (nil clears it). The receiver is not mutated, mirroring how the
+// observability flags are layered on by the Run API.
+func (m *Machine) WithFaults(f *faults.Config) *Machine {
+	mm := *m
+	mm.Faults = f
+	return &mm
 }
 
 // Route returns the ordered node sequence of the path a message from
@@ -135,28 +152,57 @@ func (m *Machine) Validate() error {
 	if m.Ts < 0 || m.Tw < 0 || m.Th < 0 {
 		return fmt.Errorf("machine: negative cost parameters ts=%v tw=%v th=%v", m.Ts, m.Tw, m.Th)
 	}
+	if err := m.Faults.Validate(); err != nil {
+		return err
+	}
 	return nil
 }
 
 // P returns the number of processors.
 func (m *Machine) P() int { return m.Topo.Size() }
 
-// MsgTime returns the virtual time to move words from src to dst.
+// MsgTime returns the virtual time to move words from src to dst,
+// applying any configured link fault perturbation.
 func (m *Machine) MsgTime(words, src, dst int) float64 {
 	if src == dst {
 		return 0
 	}
-	hops := m.Topo.Distance(src, dst)
-	return m.MsgTimeHops(words, hops)
+	return m.MsgTimeOn(words, m.Topo.Distance(src, dst), src, dst)
 }
 
 // MsgTimeHops returns the virtual time for a transfer of the given word
-// count over the given number of hops under the machine's routing.
+// count over the given number of hops under the machine's routing, at
+// the machine's nominal (unperturbed) ts/tw. The paper's closed-form
+// predictions are stated in these nominal constants; fault-aware
+// charging goes through MsgTime or MsgTimeOn.
 func (m *Machine) MsgTimeHops(words, hops int) float64 {
+	return m.msgTimeWith(m.Ts, m.Tw, words, hops)
+}
+
+// MsgTimeOn returns the transfer time of words over hops hops on the
+// directed logical link src → dst, applying the link's fault
+// perturbation (if any) to the ts and tw components.
+func (m *Machine) MsgTimeOn(words, hops, src, dst int) float64 {
+	ts, tw := m.PairTsTw(src, dst)
+	return m.msgTimeWith(ts, tw, words, hops)
+}
+
+// PairTsTw returns the effective (ts, tw) for transfers on the directed
+// link src → dst: the machine's nominal constants scaled by the fault
+// configuration's latency/bandwidth factors and per-link jitter.
+func (m *Machine) PairTsTw(src, dst int) (float64, float64) {
+	if m.Faults == nil {
+		return m.Ts, m.Tw
+	}
+	latF, bwF := m.Faults.LinkFactors(src, dst)
+	return m.Ts * latF, m.Tw * bwF
+}
+
+func (m *Machine) msgTimeWith(ts, tw float64, words, hops int) float64 {
 	if hops <= 0 {
 		return 0
 	}
-	per := m.Ts + m.Tw*float64(words)
+	per := ts + tw*float64(words)
 	if m.Routing == CutThrough {
 		return per + m.Th*float64(hops)
 	}
@@ -169,5 +215,9 @@ func (m *Machine) String() string {
 	if m.AllPort {
 		port = "all-port"
 	}
-	return fmt.Sprintf("%s ts=%g tw=%g %s %s", m.Topo.Name(), m.Ts, m.Tw, m.Routing, port)
+	s := fmt.Sprintf("%s ts=%g tw=%g %s %s", m.Topo.Name(), m.Ts, m.Tw, m.Routing, port)
+	if m.Faults.Enabled() {
+		s += fmt.Sprintf(" faults[%s]", m.Faults)
+	}
+	return s
 }

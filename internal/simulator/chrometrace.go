@@ -74,6 +74,11 @@ func (t *Trace) chromeEvents() []chromeEvent {
 			ce.Ph = "i"
 			ce.S = "t"
 			ce.Args = map[string]any{"peer": e.Peer, "tag": e.Tag, "words": e.Words}
+		case EventRetry:
+			ce.Name = fmt.Sprintf("retry→%d", e.Peer)
+			ce.Ph = "X"
+			ce.Dur = e.End - e.Start
+			ce.Args = map[string]any{"peer": e.Peer, "tag": e.Tag, "words": e.Words}
 		default:
 			continue
 		}

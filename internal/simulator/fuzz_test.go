@@ -1,9 +1,12 @@
 package simulator
 
 import (
+	"bytes"
+	"math"
 	"testing"
 	"testing/quick"
 
+	"matscale/internal/faults"
 	"matscale/internal/machine"
 )
 
@@ -116,4 +119,84 @@ func TestQuickBarriersOnlySlowDown(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// FuzzRandomPrograms drives the simulator with seed-derived
+// permutation-routing programs: every run must complete, conserve
+// messages, and reproduce its own virtual times exactly.
+func FuzzRandomPrograms(f *testing.F) {
+	f.Add(uint16(1), uint8(0))
+	f.Add(uint16(999), uint8(2))
+	f.Add(uint16(31337), uint8(3))
+	f.Fuzz(func(t *testing.T, seedRaw uint16, pExp uint8) {
+		seed := uint64(seedRaw) + 1
+		p := 1 << (2 + pExp%4) // 4..32 processors
+		const rounds = 4
+		m := machine.Hypercube(p, 7, 2)
+		first, err := Run(m, randomProgram(seed, p, rounds))
+		if err != nil {
+			t.Fatalf("seed %d p %d: %v", seed, p, err)
+		}
+		if first.Messages != p*rounds {
+			t.Fatalf("seed %d p %d: %d messages, want %d", seed, p, first.Messages, p*rounds)
+		}
+		again, err := Run(m, randomProgram(seed, p, rounds))
+		if err != nil || again.Tp != first.Tp || again.Words != first.Words {
+			t.Fatalf("seed %d p %d: nondeterministic (%v vs %v, err %v)", seed, p, again.Tp, first.Tp, err)
+		}
+	})
+}
+
+// FuzzFaultedPrograms drives the simulator under fuzzed fault
+// configurations: whatever the perturbation, a completed run must keep
+// the per-rank accounting identity compute + send + idle == Tp, never
+// lose or duplicate data, and serialize to byte-identical metrics when
+// repeated. Runs that exhaust the retry budget must fail cleanly.
+func FuzzFaultedPrograms(f *testing.F) {
+	f.Add(uint16(1), uint64(42), uint8(20), uint8(1), uint8(50))
+	f.Add(uint16(7), uint64(0), uint8(0), uint8(0), uint8(0))
+	f.Add(uint16(50), uint64(9), uint8(90), uint8(4), uint8(200))
+	f.Fuzz(func(t *testing.T, seedRaw uint16, fseed uint64, lossPct, stragglerRank, stragglerTenths uint8) {
+		seed := uint64(seedRaw) + 1
+		const p, rounds = 8, 4
+		fc := &faults.Config{
+			Seed:       fseed,
+			Loss:       float64(lossPct%95) / 100,
+			Stragglers: map[int]float64{int(stragglerRank) % p: 1 + float64(stragglerTenths)/10},
+			Jitter:     float64(fseed % 5 * 10 / 100),
+		}
+		if err := fc.Validate(); err != nil {
+			t.Skip()
+		}
+		m := machine.Hypercube(p, 7, 2)
+		m.CollectMetrics = true
+		m.Faults = fc
+		first, err := Run(m, randomProgram(seed, p, rounds))
+		if err != nil {
+			return // retry-budget exhaustion is a legitimate, clean failure
+		}
+		for _, r := range first.Metrics.Ranks {
+			sum := r.Compute + r.Send + r.Idle
+			if math.Abs(sum-first.Tp) > 1e-9*math.Max(1, first.Tp) {
+				t.Fatalf("rank %d: compute+send+idle = %v, Tp = %v", r.Rank, sum, first.Tp)
+			}
+		}
+		if first.Messages != p*rounds {
+			t.Fatalf("%d messages, want %d", first.Messages, p*rounds)
+		}
+		again, err := Run(m, randomProgram(seed, p, rounds))
+		if err != nil {
+			t.Fatalf("rerun failed: %v", err)
+		}
+		var b1, b2 bytes.Buffer
+		if err := first.Metrics.WriteRanksCSV(&b1); err != nil {
+			t.Fatal(err)
+		}
+		if err := again.Metrics.WriteRanksCSV(&b2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Fatal("faulted rerun metrics differ")
+		}
+	})
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"matscale/internal/machine"
 )
 
 // RankMetrics is one processor's virtual-time budget for a run. Every
@@ -34,6 +36,17 @@ type RankMetrics struct {
 	MsgsRecvd  int
 	WordsSent  int // includes zero-cost bookkeeping transfers
 	WordsRecvd int
+
+	// ComputeFactor is the rank's straggler slowdown (1 on a healthy
+	// machine) and StragglerExtra the compute time it charged beyond
+	// the ideal machine (included in Compute).
+	ComputeFactor  float64
+	StragglerExtra float64
+	// Retries counts the rank's retransmissions and RetryTime the
+	// virtual time the reliable-delivery layer charged for them
+	// (included in Send).
+	Retries   int
+	RetryTime float64
 }
 
 // LinkMetrics is the charged traffic carried by one directed logical
@@ -67,23 +80,61 @@ type Metrics struct {
 	Tp    float64
 	Ranks []RankMetrics
 	Links []LinkMetrics
+	// Degradation decomposes the damage a fault configuration did to
+	// the run; nil when the machine ran without enabled faults.
+	Degradation *Degradation
+}
+
+// Degradation attributes fault-induced overhead to its sources. The
+// two time columns separate the paper's To inflation into its causes:
+// straggler damage surfaces as extra compute on the slowed ranks plus
+// idle time on the ranks that wait for them, retry damage as extra
+// communication time on the senders that retransmitted. Comparing
+// CriticalRank against an unfaulted baseline run shows whether the
+// perturbation moved the critical path (see CriticalRankShift).
+type Degradation struct {
+	// StragglerExtraCompute is Σ over ranks of the compute time charged
+	// beyond the ideal machine by slowdown factors.
+	StragglerExtraCompute float64
+	// RetryComm is Σ over ranks of the time charged by the reliable-
+	// delivery layer (retransmissions + timeout waits).
+	RetryComm float64
+	// Retries is the total number of retransmissions.
+	Retries int
+	// StraggledRanks lists the ranks whose compute factor exceeds 1.
+	StraggledRanks []int
+	// CriticalRank is the critical rank of the faulted run (lowest rank
+	// finishing at Tp).
+	CriticalRank int
+}
+
+// CriticalRankShift reports how the critical path moved relative to an
+// unfaulted baseline of the same program: the baseline's critical rank,
+// the faulted run's, and whether they differ.
+func (m *Metrics) CriticalRankShift(baseline *Metrics) (from, to int, shifted bool) {
+	from, to = baseline.CriticalRank(), m.CriticalRank()
+	return from, to, from != to
 }
 
 // buildMetrics assembles the Metrics of a finished run.
-func buildMetrics(procs []*Proc, tp float64) *Metrics {
+func buildMetrics(procs []*Proc, tp float64, mach *machine.Machine) *Metrics {
 	m := &Metrics{P: len(procs), Tp: tp, Ranks: make([]RankMetrics, len(procs))}
 	for i, pr := range procs {
 		m.Ranks[i] = RankMetrics{
-			Rank:       i,
-			Compute:    pr.computeTime,
-			Send:       pr.commTime,
-			RecvWait:   pr.recvWait,
-			Idle:       pr.recvWait + (tp - pr.clock),
-			Finish:     pr.clock,
-			MsgsSent:   pr.msgsSent,
-			MsgsRecvd:  pr.msgsRecvd,
-			WordsSent:  pr.wordsSent,
-			WordsRecvd: pr.wordsRecvd,
+			Rank:           i,
+			Compute:        pr.computeTime,
+			Send:           pr.commTime,
+			RecvWait:       pr.recvWait,
+			Idle:           pr.recvWait + (tp - pr.clock),
+			Finish:         pr.clock,
+			MsgsSent:       pr.msgsSent,
+			MsgsRecvd:      pr.msgsRecvd,
+			WordsSent:      pr.wordsSent,
+			WordsRecvd:     pr.wordsRecvd,
+			ComputeFactor:  pr.computeFactor,
+			StragglerExtra: pr.stragglerExtra,
+			Retries:        pr.retries,
+			RetryTime:      pr.retryTime,
 		}
 		for dst, l := range pr.links {
 			m.Links = append(m.Links, LinkMetrics{From: i, To: dst, Msgs: l.msgs, Words: l.words, Busy: l.busy})
@@ -95,6 +146,18 @@ func buildMetrics(procs []*Proc, tp float64) *Metrics {
 		}
 		return m.Links[a].To < m.Links[b].To
 	})
+	if mach != nil && mach.Faults.Enabled() {
+		d := &Degradation{CriticalRank: m.CriticalRank()}
+		for _, r := range m.Ranks {
+			d.StragglerExtraCompute += r.StragglerExtra
+			d.RetryComm += r.RetryTime
+			d.Retries += r.Retries
+			if r.ComputeFactor > 1 {
+				d.StraggledRanks = append(d.StraggledRanks, r.Rank)
+			}
+		}
+		m.Degradation = d
+	}
 	return m
 }
 
@@ -174,14 +237,18 @@ func (m *Metrics) LoadImbalance() float64 {
 func (m *Metrics) Overhead(w float64) float64 { return float64(m.P)*m.Tp - w }
 
 // WriteRanksCSV writes the per-rank table as CSV with a header row.
+// The last four columns carry the fault bookkeeping; they are written
+// unconditionally (as 1/0 on a healthy machine) so the schema does not
+// depend on the configuration.
 func (m *Metrics) WriteRanksCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "rank,compute,send,recv_wait,idle,finish,msgs_sent,msgs_recvd,words_sent,words_recvd"); err != nil {
+	if _, err := fmt.Fprintln(w, "rank,compute,send,recv_wait,idle,finish,msgs_sent,msgs_recvd,words_sent,words_recvd,compute_factor,straggler_extra,retries,retry_time"); err != nil {
 		return err
 	}
 	for _, r := range m.Ranks {
-		if _, err := fmt.Fprintf(w, "%d,%g,%g,%g,%g,%g,%d,%d,%d,%d\n",
+		if _, err := fmt.Fprintf(w, "%d,%g,%g,%g,%g,%g,%d,%d,%d,%d,%g,%g,%d,%g\n",
 			r.Rank, r.Compute, r.Send, r.RecvWait, r.Idle, r.Finish,
-			r.MsgsSent, r.MsgsRecvd, r.WordsSent, r.WordsRecvd); err != nil {
+			r.MsgsSent, r.MsgsRecvd, r.WordsSent, r.WordsRecvd,
+			r.ComputeFactor, r.StragglerExtra, r.Retries, r.RetryTime); err != nil {
 			return err
 		}
 	}

@@ -86,9 +86,13 @@ type run struct {
 // cut-through the whole path is claimed for one transfer time.
 // Callers must hold r.mu.
 func (r *run) traverseLocked(src int, route []int, t float64, words int) float64 {
+	if len(route) == 0 {
+		return t
+	}
 	m := r.mach
+	dst := route[len(route)-1]
 	if m.Routing == machine.CutThrough {
-		per := m.MsgTimeHops(words, len(route))
+		per := m.MsgTimeOn(words, len(route), src, dst)
 		start := t
 		prev := src
 		for _, node := range route {
@@ -106,7 +110,7 @@ func (r *run) traverseLocked(src int, route []int, t float64, words int) float64
 		}
 		return finish
 	}
-	hop := m.MsgTimeHops(words, 1)
+	hop := m.MsgTimeOn(words, 1, src, dst)
 	prev := src
 	for _, node := range route {
 		l := [2]int{prev, node}
@@ -160,6 +164,19 @@ type Proc struct {
 	msgsRecvd      int
 	wordsSent      int
 	wordsRecvd     int
+
+	// computeFactor is the rank's straggler slowdown (1 on a healthy
+	// machine): Compute(w) is charged computeFactor·w. stragglerExtra
+	// accumulates the charged excess over the ideal machine.
+	computeFactor  float64
+	stragglerExtra float64
+	// sendSeq counts this rank's charged sends; it keys the loss draw
+	// so retry decisions depend only on the sender's program order,
+	// never on goroutine scheduling. retryTime and retries accumulate
+	// the reliable-delivery overhead (retransmissions + timeout waits).
+	sendSeq   int
+	retryTime float64
+	retries   int
 
 	// links aggregates charged outgoing traffic per destination rank
 	// when the machine requests metrics. Zero-cost transfers
@@ -215,14 +232,18 @@ func (p *Proc) Machine() *machine.Machine { return p.r.mach }
 // Clock returns the processor's current virtual time.
 func (p *Proc) Clock() float64 { return p.clock }
 
-// Compute advances the virtual clock by flops unit operations.
+// Compute advances the virtual clock by flops unit operations — scaled
+// by the rank's straggler factor when the machine runs under faults, so
+// a factor-f straggler is charged f·flops.
 func (p *Proc) Compute(flops float64) {
 	if flops < 0 {
 		panic(fmt.Sprintf("simulator: negative compute time %v", flops))
 	}
+	charged := flops * p.computeFactor
 	start := p.clock
-	p.clock += flops
-	p.computeTime += flops
+	p.clock += charged
+	p.computeTime += charged
+	p.stragglerExtra += charged - flops
 	p.record(Event{Kind: EventCompute, Peer: -1, Tag: -1, Start: start, End: p.clock})
 }
 
@@ -247,7 +268,7 @@ func (p *Proc) sendContended(dst, tag int, data []float64, route []int) {
 	arrival := r.traverseLocked(p.rank, route, p.clock, len(data))
 	r.mu.Unlock()
 	cost := arrival - p.clock
-	p.contentionWait += cost - r.mach.MsgTimeHops(len(data), len(route))
+	p.contentionWait += cost - r.mach.MsgTimeOn(len(data), len(route), p.rank, dst)
 	p.sendInternal(dst, tag, data, cost)
 }
 
@@ -271,7 +292,7 @@ func (p *Proc) SendNeighbor(dst, tag int, data []float64) {
 	}
 	var cost float64
 	if dst != p.rank {
-		cost = p.r.mach.MsgTimeHops(len(data), 1)
+		cost = p.r.mach.MsgTimeOn(len(data), 1, p.rank, dst)
 	}
 	p.sendInternal(dst, tag, data, cost)
 }
@@ -334,15 +355,58 @@ func (p *Proc) SendMulti(ts []Transfer) {
 	}
 }
 
+// sendInternal charges the transfer and hands the payload to the
+// destination queue. Under a lossy fault configuration every charged
+// transfer passes through the reliable-delivery layer: the number of
+// transmissions is drawn deterministically from the fault seed and the
+// sender's own send sequence, each failed transmission is paid in full
+// and followed by its (backed-off) timeout wait, and only the final,
+// successful transmission delivers data. Zero-cost transfers
+// (verification gathers, barriers) bypass the layer: they are
+// bookkeeping, not modeled communication.
 func (p *Proc) sendInternal(dst, tag int, data []float64, cost float64) {
 	start := p.clock
-	p.clock += cost
-	p.commTime += cost
-	if cost > 0 {
-		p.record(Event{Kind: EventSend, Peer: dst, Tag: tag, Words: len(data), Start: start, End: p.clock})
+	charge := cost
+	if f := p.r.mach.Faults; cost > 0 && f != nil && f.Loss > 0 {
+		seq := p.sendSeq
+		p.sendSeq++
+		tries, delivered := f.Transmissions(p.rank, seq)
+		if !delivered {
+			p.fail(fmt.Errorf("simulator: message %d from rank %d to rank %d (tag %d) lost %d times, retry budget exhausted", seq, p.rank, dst, tag, tries))
+		}
+		if tries > 1 {
+			charge = f.RetryCharge(cost, tries)
+			over := charge - cost
+			p.retryTime += over
+			p.retries += tries - 1
+			p.record(Event{Kind: EventRetry, Peer: dst, Tag: tag, Words: len(data), Start: start, End: start + over})
+		}
+	}
+	p.clock += charge
+	p.commTime += charge
+	if charge > 0 {
+		// The send event covers the successful transmission; the
+		// preceding EventRetry (if any) covers the lost ones. The link
+		// is charged for the delivering transmission only — timeout
+		// waits occupy the sender, not the wire.
+		p.record(Event{Kind: EventSend, Peer: dst, Tag: tag, Words: len(data), Start: p.clock - cost, End: p.clock})
 		p.chargeLink(dst, len(data), cost)
 	}
 	p.deliver(dst, tag, data)
+}
+
+// fail aborts the simulation with err: it marks the shared run failed,
+// wakes every blocked receiver, and unwinds this processor.
+func (p *Proc) fail(err error) {
+	r := p.r
+	r.mu.Lock()
+	if r.failed == nil {
+		r.failed = err
+	}
+	err = r.failed
+	r.wakeAllLocked()
+	r.mu.Unlock()
+	panic(abort{err})
 }
 
 func (p *Proc) deliver(dst, tag int, data []float64) {
@@ -438,6 +502,19 @@ type Result struct {
 	// routes are link-disjoint by construction).
 	ContentionWait float64
 
+	// Retries is the total number of retransmissions performed by the
+	// reliable-delivery layer, and RetryTime the virtual time they
+	// charged (retransmissions + timeout waits) — both zero unless the
+	// machine runs under a lossy fault configuration. RetryTime is
+	// included in TotalComm: retries are communication overhead and
+	// appear in To.
+	Retries   int
+	RetryTime float64
+	// StragglerExtra is the total compute time charged beyond the ideal
+	// machine by per-rank straggler factors; it is included in
+	// TotalCompute.
+	StragglerExtra float64
+
 	// Metrics is the per-rank/per-link breakdown of the run, populated
 	// when the machine has CollectMetrics set (nil otherwise).
 	// Collecting it charges zero virtual time.
@@ -491,7 +568,10 @@ func runInternal(m *machine.Machine, body func(*Proc), collectTrace bool) (*Resu
 	var wg sync.WaitGroup
 	wg.Add(p)
 	for i := 0; i < p; i++ {
-		procs[i] = &Proc{rank: i, r: r, tracing: collectTrace}
+		procs[i] = &Proc{rank: i, r: r, tracing: collectTrace, computeFactor: 1}
+		if m.Faults != nil {
+			procs[i].computeFactor = m.Faults.ComputeFactor(i)
+		}
 		if m.CollectMetrics {
 			procs[i].links = make(map[int]*linkAgg)
 		}
@@ -545,9 +625,12 @@ func runInternal(m *machine.Machine, body func(*Proc), collectTrace bool) (*Resu
 		res.ContentionWait += pr.contentionWait
 		res.Messages += pr.msgsSent
 		res.Words += pr.wordsSent
+		res.Retries += pr.retries
+		res.RetryTime += pr.retryTime
+		res.StragglerExtra += pr.stragglerExtra
 	}
 	if m.CollectMetrics {
-		res.Metrics = buildMetrics(procs, res.Tp)
+		res.Metrics = buildMetrics(procs, res.Tp, m)
 	}
 	if collectTrace {
 		events := make([]Event, 0)

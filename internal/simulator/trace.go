@@ -20,6 +20,10 @@ const (
 	// EventRecv marks a message consumption (zero duration; the wait,
 	// if any, is the preceding EventIdle).
 	EventRecv
+	// EventRetry is the reliable-delivery overhead of a lossy send:
+	// the lost transmissions and timeout waits preceding the EventSend
+	// that finally delivered.
+	EventRetry
 )
 
 func (k EventKind) String() string {
@@ -32,6 +36,8 @@ func (k EventKind) String() string {
 		return "idle"
 	case EventRecv:
 		return "recv"
+	case EventRetry:
+		return "retry"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -90,6 +96,8 @@ func (t *Trace) Timeline(width int) string {
 				ch = 'S'
 			case EventIdle:
 				ch = '.'
+			case EventRetry:
+				ch = 'R'
 			default:
 				continue
 			}

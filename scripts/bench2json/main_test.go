@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: matscale/internal/shm
+cpu: some CPU @ 3.00GHz
+BenchmarkMul/n=256-16         	       3	  12345678 ns/op	      96 B/op	       2 allocs/op
+BenchmarkMul/n=512-16         	       2	  98765432 ns/op
+PASS
+ok  	matscale/internal/shm	1.234s
+pkg: matscale/internal/simulator
+BenchmarkRing-16              	       6	    514027 ns/op	  123.4 MB/s
+PASS
+ok  	matscale/internal/simulator	0.456s
+`
+
+func TestParseBench(t *testing.T) {
+	rep, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || !strings.Contains(rep.CPU, "3.00GHz") {
+		t.Errorf("environment header misparsed: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	first := rep.Benchmarks[0]
+	if first.Package != "matscale/internal/shm" || first.Name != "BenchmarkMul/n=256-16" {
+		t.Errorf("first benchmark misattributed: %+v", first)
+	}
+	if first.Iterations != 3 || first.Metrics["ns/op"] != 12345678 ||
+		first.Metrics["B/op"] != 96 || first.Metrics["allocs/op"] != 2 {
+		t.Errorf("first benchmark metrics misparsed: %+v", first)
+	}
+	last := rep.Benchmarks[2]
+	if last.Package != "matscale/internal/simulator" || last.Metrics["MB/s"] != 123.4 {
+		t.Errorf("package context not tracked across pkg: lines: %+v", last)
+	}
+}
+
+func TestParseBenchRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"BenchmarkX-8 notanumber 5 ns/op",
+		"BenchmarkX-8 3 bad ns/op",
+		"BenchmarkX-8 3 5",
+	} {
+		if _, err := parseBench(strings.NewReader(bad)); err == nil {
+			t.Errorf("accepted malformed line %q", bad)
+		}
+	}
+}
+
+func TestRunEmitsValidJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("round-tripped %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+}
