@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-json lint fuzz cover verify repro clean
+.PHONY: all build test race bench bench-smoke bench-json lint vet vet-tool fuzz cover verify repro clean
 
 all: build test
 
@@ -27,8 +27,20 @@ bench-json:
 	$(GO) run ./scripts/bench2json -in bench_pr.txt -out BENCH_pr.json
 
 # Same linters as CI (.golangci.yml); requires golangci-lint on PATH.
-lint:
+lint: vet
 	golangci-lint run
+
+# Build the repo's own vettool (the matscale-vet analyzer suite; see
+# docs/ANALYSIS.md) and print its path — `-s` makes the path the only
+# stdout output, so `go vet -vettool=$$(make -s vet-tool) ./...` works.
+vet-tool:
+	@$(GO) build -o bin/matscale-vet ./cmd/matscale-vet 1>&2
+	@echo $(CURDIR)/bin/matscale-vet
+
+# Run the determinism/cost-model analyzers over the whole module.
+vet:
+	$(GO) build -o bin/matscale-vet ./cmd/matscale-vet
+	$(GO) vet -vettool=$(CURDIR)/bin/matscale-vet ./...
 
 # The CI fuzz targets, briefly.
 FUZZTIME ?= 30s
@@ -52,3 +64,4 @@ repro:
 
 clean:
 	rm -f REPRODUCTION.txt test_output.txt bench_output.txt bench_pr.txt coverage.out
+	rm -rf bin

@@ -1,0 +1,21 @@
+// Command matscale-vet is the repository's domain vettool: a
+// go/analysis suite enforcing the simulator's determinism and
+// cost-model contracts (see docs/ANALYSIS.md). It speaks the standard
+// unitchecker protocol, so it is driven through the go command:
+//
+//	go build -o bin/matscale-vet ./cmd/matscale-vet
+//	go vet -vettool=$PWD/bin/matscale-vet ./...
+//
+// or simply `make vet`. Analyzers: accretion, clockguard, costcharge,
+// nodetbreak, seedflow.
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"matscale/internal/analysis/suite"
+)
+
+func main() {
+	unitchecker.Main(suite.All()...)
+}

@@ -69,16 +69,10 @@ func cmdVerify(args []string) error {
 		expected float64
 	}
 	hc := func(p int) *machine.Machine { return machine.Hypercube(p, pr.Ts, pr.Tw) }
-	ap := func(p int) *machine.Machine {
-		m := hc(p)
-		m.AllPort = true
-		return m
-	}
-	cm5 := func(p int) *machine.Machine {
-		m := machine.CM5(p)
-		m.Ts, m.Tw = pr.Ts, pr.Tw
-		return m
-	}
+	// Cost constants and the port regime are read-only after
+	// construction (clockguard); derive configured copies instead.
+	ap := func(p int) *machine.Machine { return hc(p).WithAllPort(true) }
+	cm5 := func(p int) *machine.Machine { return machine.CM5(p).WithCost(pr.Ts, pr.Tw) }
 	mesh := func(p int) *machine.Machine { return machine.Mesh(p, pr.Ts, pr.Tw) }
 
 	checks := []check{

@@ -1,3 +1,8 @@
 module matscale
 
 go 1.22
+
+// Pinned to the revision vendored by the Go 1.24 toolchain (see
+// vendor/); the analysis suite in internal/analysis and the
+// cmd/matscale-vet vettool build against it offline.
+require golang.org/x/tools v0.28.1-0.20250131145412-98746475647e

@@ -1,0 +1,106 @@
+// Package accretion defines an analyzer enforcing the unit-
+// documentation contract: in the cost-model packages (machine, model,
+// iso) every exported function or method that returns a float64 is
+// returning a quantity in the paper's normalized units — flop times,
+// ts/tw multiples, words, or a derived ratio — and its doc comment must
+// say which. The paper's accounting only composes because every number
+// is in the same currency; an undocumented float is how a caller ends
+// up adding a time to an efficiency.
+package accretion
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+
+	"matscale/internal/analysis/config"
+)
+
+// Doc is the analyzer's long-form description.
+const Doc = `require cost-model units in doc comments of exported float64 API
+
+Exported functions and methods returning float64 in the cost-model
+packages must carry a doc comment naming the quantity's units: ts, tw,
+flops, words, time, cost, efficiency, speedup, or another term from the
+paper's vocabulary. New API accreted without this is flagged.`
+
+// Analyzer is the accretion analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "accretion",
+	Doc:  Doc,
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !config.CostDoc(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if config.TestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !exportedAPI(fd) || !returnsFloat(pass, fd) {
+				continue
+			}
+			doc := fd.Doc.Text()
+			switch {
+			case doc == "":
+				pass.Reportf(fd.Name.Pos(), "exported %s returns float64 but has no doc comment; document the quantity's cost-model units (ts, tw, flops, …)", fd.Name.Name)
+			case !config.UnitDocPattern.MatchString(doc):
+				pass.Reportf(fd.Name.Pos(), "doc comment of %s does not state its cost-model units (ts, tw, flops, time, …); name the quantity it returns", fd.Name.Name)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// exportedAPI reports whether fd is part of the package's exported
+// surface: an exported function, or an exported method on an exported
+// receiver type.
+func exportedAPI(fd *ast.FuncDecl) bool {
+	if !fd.Name.IsExported() {
+		return false
+	}
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return true
+	}
+	return ast.IsExported(receiverTypeName(fd.Recv.List[0].Type))
+}
+
+// receiverTypeName extracts the receiver's type name.
+func receiverTypeName(e ast.Expr) string {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x.Name
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.IndexListExpr:
+			e = x.X
+		default:
+			return ""
+		}
+	}
+}
+
+// returnsFloat reports whether any result of fd has float64 type.
+func returnsFloat(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Results == nil {
+		return false
+	}
+	for _, r := range fd.Type.Results.List {
+		t := pass.TypesInfo.TypeOf(r.Type)
+		if t == nil {
+			continue
+		}
+		if b, ok := t.Underlying().(*types.Basic); ok && b.Kind() == types.Float64 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,14 @@
+package accretion_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"matscale/internal/analysis/accretion"
+	"matscale/internal/analysis/analyzertest"
+)
+
+func TestAccretion(t *testing.T) {
+	analyzertest.Run(t, filepath.Join("testdata"), accretion.Analyzer,
+		"matscale/internal/model", "clean")
+}

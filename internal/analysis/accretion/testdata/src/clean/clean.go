@@ -1,0 +1,7 @@
+// Package clean is outside the cost-doc contract's scope: float64 API
+// here needs no unit vocabulary.
+package clean
+
+func Plain(x float64) float64 {
+	return x * 2
+}

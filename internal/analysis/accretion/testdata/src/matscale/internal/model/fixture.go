@@ -1,0 +1,51 @@
+// Fixture for the accretion analyzer: package path matches the real
+// model package, so the unit-documentation contract applies.
+package model
+
+// Tp returns the parallel execution time in flop units (ts, tw
+// normalized so one multiply-add is 1).
+func Tp(n, p int) float64 { // documented with units: no diagnostic
+	return float64(n * n * n / p)
+}
+
+func Mystery(n int) float64 { // want `exported Mystery returns float64 but has no doc comment`
+	return float64(n)
+}
+
+// Vague produces a handy number for callers.
+func Vague(n int) float64 { // want `doc comment of Vague does not state its cost-model units`
+	return float64(n)
+}
+
+// Params is an exported carrier type.
+type Params struct {
+	N int
+}
+
+// Overhead returns To = p·Tp − W in flop units.
+func (p Params) Overhead(tp float64, procs int) float64 { // documented: no diagnostic
+	return float64(procs)*tp - float64(p.N)
+}
+
+func (p Params) Bare() float64 { // want `exported Bare returns float64 but has no doc comment`
+	return float64(p.N)
+}
+
+// Count returns how many processors the paper's Table 1 lists. Not a
+// float64, so no units are demanded.
+func Count() int {
+	return 5
+}
+
+// helper is unexported: out of scope regardless of documentation.
+func helper() float64 {
+	return 1
+}
+
+type internalParams struct{ n int }
+
+// Value returns a number; the receiver type is unexported, so this is
+// not exported API.
+func (ip internalParams) Value() float64 {
+	return float64(ip.n)
+}

@@ -1,0 +1,244 @@
+// Package analyzertest runs a go/analysis analyzer over fixture
+// packages and checks its diagnostics against // want comments — a
+// self-contained stand-in for golang.org/x/tools/go/analysis/
+// analysistest, which is not part of the vendored x/tools subset this
+// module pins (the toolchain's cmd/vendor tree ships the analysis
+// framework but not its test harness).
+//
+// Fixtures live under <testdata>/src/<importpath>/, exactly like
+// analysistest: the fixture's import path is the directory path below
+// src, so a fixture at testdata/src/matscale/internal/simulator is
+// type-checked as package path "matscale/internal/simulator" and hits
+// the same config classification as the real package. Imports are
+// resolved first against the testdata tree, then against the standard
+// library (type-checked from GOROOT source, so no network or compiled
+// export data is needed).
+//
+// Expectations are trailing comments of the form
+//
+//	expr // want `regexp` `another`
+//
+// with each pattern either back-quoted or double-quoted. A diagnostic
+// must match an expectation on its own line, and every expectation must
+// be matched, or the test fails.
+package analyzertest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run loads each fixture package below testdata/src and applies a,
+// reporting mismatches between diagnostics and // want expectations as
+// test errors.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	if len(a.Requires) > 0 || len(a.FactTypes) > 0 {
+		t.Fatalf("analyzertest: analyzer %s uses Requires/FactTypes, which this harness does not support", a.Name)
+	}
+	l := &loader{
+		fset:   token.NewFileSet(),
+		srcdir: filepath.Join(testdata, "src"),
+		pkgs:   map[string]*pkgData{},
+	}
+	l.std = importer.ForCompiler(l.fset, "source", nil)
+	for _, path := range paths {
+		pd, err := l.loadPath(path)
+		if err != nil {
+			t.Errorf("loading fixture %q: %v", path, err)
+			continue
+		}
+		var diags []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       l.fset,
+			Files:      pd.files,
+			Pkg:        pd.pkg,
+			TypesInfo:  pd.info,
+			TypesSizes: types.SizesFor("gc", "amd64"),
+			ResultOf:   map[*analysis.Analyzer]interface{}{},
+			ReadFile:   os.ReadFile,
+		}
+		pass.Report = func(d analysis.Diagnostic) { diags = append(diags, d) }
+		if _, err := a.Run(pass); err != nil {
+			t.Errorf("analyzer %s on %q: %v", a.Name, path, err)
+			continue
+		}
+		checkDiagnostics(t, l.fset, pd.files, diags)
+	}
+}
+
+// pkgData is one loaded fixture package.
+type pkgData struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+// loader resolves fixture and standard-library imports.
+type loader struct {
+	fset   *token.FileSet
+	srcdir string
+	std    types.Importer
+	pkgs   map[string]*pkgData
+}
+
+// Import implements types.Importer, preferring the testdata tree.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if pd, ok := l.pkgs[path]; ok {
+		return pd.pkg, nil
+	}
+	if st, err := os.Stat(filepath.Join(l.srcdir, path)); err == nil && st.IsDir() {
+		pd, err := l.loadPath(path)
+		if err != nil {
+			return nil, err
+		}
+		return pd.pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// loadPath parses and type-checks the fixture package at path.
+func (l *loader) loadPath(path string) (*pkgData, error) {
+	if pd, ok := l.pkgs[path]; ok {
+		return pd, nil
+	}
+	dir := filepath.Join(l.srcdir, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	pd := &pkgData{pkg: pkg, files: files, info: info}
+	l.pkgs[path] = pd
+	return pd, nil
+}
+
+// expectation is one want pattern awaiting a diagnostic.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// checkDiagnostics matches diagnostics against want expectations.
+func checkDiagnostics(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := fset.Position(c.Pos())
+				for _, re := range parseWant(t, pos, c.Text) {
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// parseWant extracts the regexps of a // want comment ("" if none).
+func parseWant(t *testing.T, pos token.Position, comment string) []*regexp.Regexp {
+	t.Helper()
+	body, ok := strings.CutPrefix(strings.TrimSpace(strings.TrimPrefix(comment, "//")), "want ")
+	if !ok {
+		return nil
+	}
+	var res []*regexp.Regexp
+	rest := strings.TrimSpace(body)
+	for rest != "" {
+		var pat string
+		switch rest[0] {
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				t.Errorf("%s: unterminated want pattern: %s", pos, rest)
+				return res
+			}
+			pat = rest[1 : 1+end]
+			rest = strings.TrimSpace(rest[2+end:])
+		case '"':
+			q, err := strconv.QuotedPrefix(rest)
+			if err != nil {
+				t.Errorf("%s: bad want pattern %s: %v", pos, rest, err)
+				return res
+			}
+			pat, _ = strconv.Unquote(q)
+			rest = strings.TrimSpace(rest[len(q):])
+		default:
+			t.Errorf("%s: want patterns must be quoted: %s", pos, rest)
+			return res
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			t.Errorf("%s: bad want regexp %q: %v", pos, pat, err)
+			return res
+		}
+		res = append(res, re)
+	}
+	return res
+}

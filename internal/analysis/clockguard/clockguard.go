@@ -1,0 +1,96 @@
+// Package clockguard defines an analyzer enforcing the clock-ownership
+// contract: the machine's cost constants (Ts, Tw, Th, Routing, AllPort)
+// and the simulator's measurement carriers (Result, Metrics,
+// RankMetrics, LinkMetrics, Degradation, Trace, Event) may only be
+// mutated inside internal/machine and internal/simulator. Everywhere
+// else they are read-only: a caller that rewrites Ts mid-run changes
+// the meaning of every later charge, and a caller that edits a Result
+// falsifies the accounting identity To = p·Tp − W the paper's analysis
+// rests on. Copies are configured through the With* helpers on Machine.
+package clockguard
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+
+	"matscale/internal/analysis/config"
+)
+
+// Doc is the analyzer's long-form description.
+const Doc = `forbid mutation of cost constants and measured results outside their owners
+
+machine.Machine's cost fields and the simulator's result/metrics types
+may only be written inside internal/machine and internal/simulator.
+Other packages read them; configured variants are derived with the
+Machine.With* helpers, never by assigning fields in place.`
+
+// Analyzer is the clockguard analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "clockguard",
+	Doc:  Doc,
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if config.ClockOwner(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if config.TestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					checkWrite(pass, lhs)
+				}
+			case *ast.IncDecStmt:
+				checkWrite(pass, n.X)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkWrite reports lhs when it is a selector writing a guarded field.
+func checkWrite(pass *analysis.Pass, lhs ast.Expr) {
+	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	s := pass.TypesInfo.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return
+	}
+	field, ok := s.Obj().(*types.Var)
+	if !ok || field.Pkg() == nil {
+		return
+	}
+	owner := ownerName(s.Recv())
+	switch field.Pkg().Path() {
+	case config.MachinePath:
+		if owner == "Machine" && config.GuardedMachineField(field.Name()) {
+			pass.Reportf(sel.Sel.Pos(), "write to machine.Machine.%s outside internal/machine: cost constants are read-only once constructed; derive a configured copy with a Machine.With* helper", field.Name())
+		}
+	case config.SimulatorPath:
+		if config.GuardedSimulatorType(owner) && field.Exported() {
+			pass.Reportf(sel.Sel.Pos(), "write to simulator.%s.%s outside internal/simulator: measured results are read-only; mutating them falsifies To = p·Tp − W", owner, field.Name())
+		}
+	}
+}
+
+// ownerName returns the name of the named type (after pointer
+// indirection) a field selection dereferences, or "".
+func ownerName(t types.Type) string {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}

@@ -1,0 +1,18 @@
+package clockguard_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"matscale/internal/analysis/analyzertest"
+	"matscale/internal/analysis/clockguard"
+)
+
+func TestClockguard(t *testing.T) {
+	analyzertest.Run(t, filepath.Join("testdata"), clockguard.Analyzer,
+		"consumer",
+		// The owner packages themselves may mutate freely: the machine
+		// stub contains a SetCost method and must produce no diagnostics.
+		"matscale/internal/machine",
+		"matscale/internal/simulator")
+}

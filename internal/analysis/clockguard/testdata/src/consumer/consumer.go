@@ -1,0 +1,22 @@
+// Package consumer is outside the clock-owner set, so guarded fields
+// are read-only here.
+package consumer
+
+import (
+	"matscale/internal/machine"
+	"matscale/internal/simulator"
+)
+
+func Tamper(m *machine.Machine, res *simulator.Result, met *simulator.Metrics) float64 {
+	m.Ts = 5                 // want `write to machine\.Machine\.Ts outside internal/machine`
+	m.Tw = 3                 // want `write to machine\.Machine\.Tw outside internal/machine`
+	m.AllPort = true         // want `write to machine\.Machine\.AllPort outside internal/machine`
+	m.Routing = 1            // want `write to machine\.Machine\.Routing outside internal/machine`
+	m.TrackContention = true // unguarded observability flag: allowed
+	res.Tp = 0               // want `write to simulator\.Result\.Tp outside internal/simulator`
+	res.P++                  // want `write to simulator\.Result\.P outside internal/simulator`
+	met.Ranks[0].Compute = 1 // want `write to simulator\.RankMetrics\.Compute outside internal/simulator`
+	s := simulator.Scratch{}
+	s.N = 7                             // unguarded type: allowed
+	return m.Ts + res.Tp + float64(s.N) // reads are always fine
+}

@@ -1,0 +1,22 @@
+// Stub of the real machine package: just enough structure for the
+// clockguard fixtures to resolve field selections against the guarded
+// type and field names.
+package machine
+
+// Routing selects how multi-hop messages are charged.
+type Routing int
+
+// Machine mirrors the guarded cost fields of the real Machine plus one
+// unguarded observability flag.
+type Machine struct {
+	Ts, Tw, Th      float64
+	Routing         Routing
+	AllPort         bool
+	TrackContention bool
+}
+
+// SetCost mutates cost constants inside the owner package: allowed.
+func (m *Machine) SetCost(ts, tw float64) {
+	m.Ts = ts
+	m.Tw = tw
+}

@@ -1,0 +1,25 @@
+// Stub of the real simulator package: the guarded measurement types.
+package simulator
+
+// Result mirrors the measured-output carrier of the real simulator.
+type Result struct {
+	P  int
+	Tp float64
+}
+
+// Metrics mirrors the per-run breakdown carrier.
+type Metrics struct {
+	Tp    float64
+	Ranks []RankMetrics
+}
+
+// RankMetrics mirrors one rank's budget row.
+type RankMetrics struct {
+	Rank    int
+	Compute float64
+}
+
+// Scratch is NOT a guarded type; writes to it are fine anywhere.
+type Scratch struct {
+	N int
+}

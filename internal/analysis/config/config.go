@@ -1,0 +1,138 @@
+// Package config is the single source of truth for the package
+// classification the matscale-vet analyzers enforce. Every analyzer in
+// internal/analysis consults these tables instead of hard-coding import
+// paths, so widening or narrowing a contract's scope is a one-line
+// change here.
+//
+// The contracts (see docs/ANALYSIS.md):
+//
+//   - Deterministic packages may not consult wall clocks, global random
+//     sources, or scheduler state, and may not range over maps when the
+//     iteration feeds ordered output. This is what makes a run
+//     byte-identical for a fixed seed.
+//   - Charged packages implement the paper's algorithms; every transfer
+//     must flow through the simulator's charged Send/Recv API so it is
+//     accounted at ts + tw·m. Raw channels and sync primitives would
+//     move data the cost model never sees.
+//   - Clock-owner packages are the only ones allowed to mutate the
+//     machine's cost constants and the simulator's measured results;
+//     everywhere else those fields are read-only, preserving the
+//     accounting identity To = p·Tp − W.
+//   - Cost-doc packages expose quantities measured in the paper's units
+//     (ts, tw, flops); their exported float64-returning API must say so
+//     in its doc comment.
+package config
+
+import (
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// Import paths of the packages the contracts name. Analyzer testdata
+// mirrors these paths under testdata/src so fixtures exercise the same
+// classification as the real tree.
+const (
+	MachinePath   = "matscale/internal/machine"
+	SimulatorPath = "matscale/internal/simulator"
+)
+
+// deterministicPkgs lists the packages whose behavior must be
+// byte-identical run to run: the simulator and fault layer (replays),
+// the algorithm formulations, and the experiment drivers that emit
+// tables compared against golden output.
+var deterministicPkgs = map[string]bool{
+	SimulatorPath:                   true,
+	"matscale/internal/faults":      true,
+	"matscale/internal/core":        true,
+	"matscale/internal/collective":  true,
+	MachinePath:                     true,
+	"matscale/internal/experiments": true,
+}
+
+// chargedPkgs lists the algorithm/collective packages in which all
+// communication must be charged through the simulator's Proc API.
+var chargedPkgs = map[string]bool{
+	"matscale/internal/core":       true,
+	"matscale/internal/collective": true,
+}
+
+// clockOwnerPkgs are the packages allowed to mutate machine cost
+// constants and simulator measurement fields.
+var clockOwnerPkgs = map[string]bool{
+	MachinePath:   true,
+	SimulatorPath: true,
+}
+
+// costDocPkgs expose the paper's measured quantities; their exported
+// float64 API must document its units.
+var costDocPkgs = map[string]bool{
+	MachinePath:               true,
+	"matscale/internal/model": true,
+	"matscale/internal/iso":   true,
+}
+
+// Deterministic reports whether the package at path is bound by the
+// determinism contract (nodetbreak).
+func Deterministic(path string) bool { return deterministicPkgs[path] }
+
+// Charged reports whether the package at path is bound by the
+// cost-charging contract (costcharge).
+func Charged(path string) bool { return chargedPkgs[path] }
+
+// ClockOwner reports whether the package at path may mutate guarded
+// clock/metrics fields (clockguard).
+func ClockOwner(path string) bool { return clockOwnerPkgs[path] }
+
+// CostDoc reports whether the package at path is bound by the
+// unit-documentation contract (accretion).
+func CostDoc(path string) bool { return costDocPkgs[path] }
+
+// guardedMachineFields are the cost constants of machine.Machine: the
+// ts + tw·m postal model's parameters plus the routing/port regime that
+// selects how they are applied. Mutating them after construction
+// changes the meaning of every subsequently charged transfer, so
+// outside the clock owners they are read-only; copies are configured
+// through the With* helpers on Machine.
+var guardedMachineFields = map[string]bool{
+	"Ts":      true,
+	"Tw":      true,
+	"Th":      true,
+	"Routing": true,
+	"AllPort": true,
+}
+
+// guardedSimulatorTypes are the simulator's measurement carriers. Every
+// exported field of these types is an output of the virtual clock;
+// writing one outside the simulator would falsify Tp, To = p·Tp − W, or
+// the per-rank breakdown they feed.
+var guardedSimulatorTypes = map[string]bool{
+	"Result":      true,
+	"Metrics":     true,
+	"RankMetrics": true,
+	"LinkMetrics": true,
+	"Degradation": true,
+	"Trace":       true,
+	"Event":       true,
+}
+
+// GuardedMachineField reports whether the named machine.Machine field
+// is a guarded cost constant.
+func GuardedMachineField(name string) bool { return guardedMachineFields[name] }
+
+// GuardedSimulatorType reports whether the named simulator type carries
+// measured results and is therefore write-protected outside the
+// simulator.
+func GuardedSimulatorType(name string) bool { return guardedSimulatorTypes[name] }
+
+// UnitDocPattern matches a doc comment that states cost-model units:
+// the paper's constants (ts, tw, th), flop counts, words moved, or the
+// derived quantities (time, cost, overhead, efficiency, speedup, …).
+var UnitDocPattern = regexp.MustCompile(`(?i)\b(ts|tw|th|flops?|time|times|cost|costs|words?|efficiency|isoefficiency|seconds?|speedup|ratio|fraction|factor|factors|overhead|utilization|granularity)\b`)
+
+// TestFile reports whether pos lies in a _test.go file. The contracts
+// bind production code; tests may freely construct machines, perturb
+// results, and measure wall time.
+func TestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.File(pos).Name(), "_test.go")
+}

@@ -1,0 +1,86 @@
+package config_test
+
+import (
+	"testing"
+
+	"matscale/internal/analysis/config"
+)
+
+func TestClassification(t *testing.T) {
+	cases := []struct {
+		path                                        string
+		deterministic, charged, clockOwner, costDoc bool
+	}{
+		{"matscale/internal/simulator", true, false, true, false},
+		{"matscale/internal/machine", true, false, true, true},
+		{"matscale/internal/faults", true, false, false, false},
+		{"matscale/internal/core", true, true, false, false},
+		{"matscale/internal/collective", true, true, false, false},
+		{"matscale/internal/experiments", true, false, false, false},
+		{"matscale/internal/model", false, false, false, true},
+		{"matscale/internal/iso", false, false, false, true},
+		{"matscale/internal/shm", false, false, false, false}, // host compute: real concurrency allowed
+		{"matscale", false, false, false, false},
+		{"matscale/cmd/matscale", false, false, false, false},
+	}
+	for _, c := range cases {
+		if got := config.Deterministic(c.path); got != c.deterministic {
+			t.Errorf("Deterministic(%q) = %v, want %v", c.path, got, c.deterministic)
+		}
+		if got := config.Charged(c.path); got != c.charged {
+			t.Errorf("Charged(%q) = %v, want %v", c.path, got, c.charged)
+		}
+		if got := config.ClockOwner(c.path); got != c.clockOwner {
+			t.Errorf("ClockOwner(%q) = %v, want %v", c.path, got, c.clockOwner)
+		}
+		if got := config.CostDoc(c.path); got != c.costDoc {
+			t.Errorf("CostDoc(%q) = %v, want %v", c.path, got, c.costDoc)
+		}
+	}
+}
+
+func TestGuardedFields(t *testing.T) {
+	for _, f := range []string{"Ts", "Tw", "Th", "Routing", "AllPort"} {
+		if !config.GuardedMachineField(f) {
+			t.Errorf("GuardedMachineField(%q) = false, want true", f)
+		}
+	}
+	// Observability flags are configuration, not cost constants.
+	for _, f := range []string{"TrackContention", "CollectMetrics", "CollectTrace", "Faults", "Topo"} {
+		if config.GuardedMachineField(f) {
+			t.Errorf("GuardedMachineField(%q) = true, want false", f)
+		}
+	}
+	for _, typ := range []string{"Result", "Metrics", "RankMetrics", "LinkMetrics", "Degradation", "Trace", "Event"} {
+		if !config.GuardedSimulatorType(typ) {
+			t.Errorf("GuardedSimulatorType(%q) = false, want true", typ)
+		}
+	}
+	if config.GuardedSimulatorType("Proc") {
+		t.Error("Proc is goroutine-owned, not a guarded result carrier")
+	}
+}
+
+func TestUnitDocPattern(t *testing.T) {
+	match := []string{
+		"returns the parallel execution time in flop units",
+		"critical-path cost: log2(g) · (ts + tw·m)",
+		"the efficiency E = W/(p·Tp)",
+		"words moved per processor",
+	}
+	for _, s := range match {
+		if !config.UnitDocPattern.MatchString(s) {
+			t.Errorf("UnitDocPattern should match %q", s)
+		}
+	}
+	nomatch := []string{
+		"produces a handy number for callers",
+		"does the thing",
+		"its network switch", // "ts"/"tw" must match as whole words only
+	}
+	for _, s := range nomatch {
+		if config.UnitDocPattern.MatchString(s) {
+			t.Errorf("UnitDocPattern should not match %q", s)
+		}
+	}
+}

@@ -1,0 +1,14 @@
+package costcharge_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"matscale/internal/analysis/analyzertest"
+	"matscale/internal/analysis/costcharge"
+)
+
+func TestCostcharge(t *testing.T) {
+	analyzertest.Run(t, filepath.Join("testdata"), costcharge.Analyzer,
+		"matscale/internal/core", "clean")
+}

@@ -1,0 +1,29 @@
+// Fixture for the costcharge analyzer: package path matches the real
+// core (formulation) package, so the cost-charging contract applies.
+package core
+
+import (
+	"sync" // want `import of "sync" in a charged package`
+)
+
+func drain(ch chan int) int {
+	return <-ch // want `raw channel receive bypasses the cost model`
+}
+
+func raw(ch chan int) int {
+	var mu sync.Mutex
+	mu.Lock()
+	ch <- 1   // want `raw channel send bypasses the ts \+ tw·m cost model`
+	v := <-ch // want `raw channel receive bypasses the cost model`
+	mu.Unlock()
+	c := make(chan int) // want `channel construction in a charged package`
+	go drain(c)         // want `goroutine launch in a charged package`
+	if v > 0 {
+		select {} // want `select races on real-time channel readiness`
+	}
+	return v
+}
+
+func charged(send func(dst, tag int, data []float64)) { // plain calls: allowed
+	send(1, 0, []float64{1, 2, 3})
+}

@@ -1,0 +1,14 @@
+package nodetbreak_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"matscale/internal/analysis/analyzertest"
+	"matscale/internal/analysis/nodetbreak"
+)
+
+func TestNodetbreak(t *testing.T) {
+	analyzertest.Run(t, filepath.Join("testdata"), nodetbreak.Analyzer,
+		"matscale/internal/simulator", "clean")
+}

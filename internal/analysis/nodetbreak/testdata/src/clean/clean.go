@@ -1,0 +1,15 @@
+// Package clean is outside the determinism contract's scope, so
+// nothing here is reported even though it uses wall clocks and maps.
+package clean
+
+import (
+	"fmt"
+	"time"
+)
+
+func Timestamped(m map[int]int) {
+	fmt.Println(time.Now())
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}

@@ -1,0 +1,107 @@
+// Package seedflow defines an analyzer enforcing the seed-threading
+// contract: a function that accepts a seed parameter must actually use
+// it. Dropping a seed is the quietest way to lose reproducibility — the
+// API promises "same seed, same run" while the implementation draws
+// from some other source (or from nothing), and fault-injection replays
+// stop being byte-identical without any test noticing until the replay
+// diverges.
+package seedflow
+
+import (
+	"go/ast"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"matscale/internal/analysis/config"
+)
+
+// Doc is the analyzer's long-form description.
+const Doc = `forbid dropping seed parameters
+
+Every function with a parameter named seed (or *Seed) must reference it
+in its body — threading it into a rand source, a faults.Config, or a
+stored field. A blank identifier or a parameter that is never read
+breaks the "same seed, same run" guarantee the fault-injection and
+experiment layers rely on.`
+
+// Analyzer is the seedflow analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "seedflow",
+	Doc:  Doc,
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		if config.TestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Type.Params == nil {
+				continue
+			}
+			for _, field := range fd.Type.Params.List {
+				for _, name := range field.Names {
+					if !seedName(name.Name) {
+						continue
+					}
+					if !paramUsed(pass, fd.Body, name) {
+						pass.Reportf(name.Pos(), "%s drops its seed parameter %s: thread it into the rand/faults source so runs are reproducible", fd.Name.Name, name.Name)
+					}
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// seedName reports whether a parameter name denotes a seed.
+func seedName(name string) bool {
+	l := strings.ToLower(name)
+	return l == "seed" || strings.HasSuffix(l, "seed")
+}
+
+// paramUsed reports whether body contains a real use of the parameter
+// object bound to decl — a reference outside a blank assignment.
+// `_ = seed` silences the unused-variable check without threading the
+// seed anywhere, so it does not count.
+func paramUsed(pass *analysis.Pass, body *ast.BlockStmt, decl *ast.Ident) bool {
+	obj := pass.TypesInfo.ObjectOf(decl)
+	if obj == nil {
+		return false
+	}
+	blank := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if as, ok := n.(*ast.AssignStmt); ok && allBlank(as.Lhs) {
+			for _, rhs := range as.Rhs {
+				blank[rhs] = true
+			}
+		}
+		return true
+	})
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if blank[n] {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			used = true
+		}
+		return !used
+	})
+	return used
+}
+
+// allBlank reports whether every expression in lhs is the blank
+// identifier.
+func allBlank(lhs []ast.Expr) bool {
+	for _, e := range lhs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return len(lhs) > 0
+}

@@ -1,0 +1,13 @@
+package seedflow_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"matscale/internal/analysis/analyzertest"
+	"matscale/internal/analysis/seedflow"
+)
+
+func TestSeedflow(t *testing.T) {
+	analyzertest.Run(t, filepath.Join("testdata"), seedflow.Analyzer, "a")
+}

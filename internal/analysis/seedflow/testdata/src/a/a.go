@@ -1,0 +1,43 @@
+// Fixture for the seedflow analyzer. The contract is module-wide, so
+// no special package path is needed.
+package a
+
+// Config carries a seed.
+type Config struct {
+	Seed  int64
+	Extra uint64
+}
+
+func NewDropped(p int, seed int64) *Config { // want `NewDropped drops its seed parameter seed`
+	_ = p
+	return &Config{}
+}
+
+func NewBlanked(seed int64) *Config { // want `NewBlanked drops its seed parameter seed`
+	_ = seed // blank assignment silences the compiler, not the contract
+	return &Config{}
+}
+
+func NewThreaded(seed int64) *Config { // threads the seed: no diagnostic
+	return &Config{Seed: seed}
+}
+
+func NewSuffixDropped(p int, faultSeed uint64) *Config { // want `NewSuffixDropped drops its seed parameter faultSeed`
+	return &Config{Extra: uint64(p)}
+}
+
+func NewSuffixUsed(faultSeed uint64) *Config { // suffix match, used: no diagnostic
+	return &Config{Extra: faultSeed}
+}
+
+func Mix(seed int64, other int) int64 { // passing it on counts as use
+	return remix(seed) + int64(other)
+}
+
+func remix(seed int64) int64 {
+	return seed*6364136223846793005 + 1442695040888963407
+}
+
+func Seedless(p, q int) int { // no seed parameter: out of scope
+	return p + q
+}

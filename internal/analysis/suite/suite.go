@@ -1,0 +1,25 @@
+// Package suite assembles the matscale-vet analyzers. cmd/matscale-vet
+// and the meta-test both consume this list, so the vettool binary and
+// the repository's own gate can never disagree about what is enforced.
+package suite
+
+import (
+	"golang.org/x/tools/go/analysis"
+
+	"matscale/internal/analysis/accretion"
+	"matscale/internal/analysis/clockguard"
+	"matscale/internal/analysis/costcharge"
+	"matscale/internal/analysis/nodetbreak"
+	"matscale/internal/analysis/seedflow"
+)
+
+// All returns the full matscale-vet analyzer suite in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		accretion.Analyzer,
+		clockguard.Analyzer,
+		costcharge.Analyzer,
+		nodetbreak.Analyzer,
+		seedflow.Analyzer,
+	}
+}

@@ -172,7 +172,10 @@ func AllToAll(pr *simulator.Proc, group []int, tag int, data []float64) []float6
 	}
 
 	out := make([]float64, g*m)
-	for pk, body := range payload {
+	// Each packet copies into its own disjoint out[pk.src*m:...] slot,
+	// so iteration order cannot affect the result; the Sprintf only
+	// feeds the routing assertion.
+	for pk, body := range payload { //nodetbreak:ordered — disjoint copy targets
 		if pk.dst != idx {
 			panic(fmt.Sprintf("collective: AllToAll routing error: packet for %d at %d", pk.dst, idx))
 		}

@@ -259,11 +259,7 @@ func (f *FigureEfficiency) Render() string {
 		v[1] = pt.E
 		grid[pt.N] = v
 	}
-	var ns []int
-	for n := range grid {
-		ns = append(ns, n)
-	}
-	sortInts(ns)
+	ns := sortedGridKeys(grid)
 	for _, n := range ns {
 		v := grid[n]
 		sb.WriteString(fmt.Sprintf("%6d %12s %12s\n", n, fmtE(v[0]), fmtE(v[1])))
@@ -289,11 +285,7 @@ func (f *FigureEfficiency) CSV() string {
 		v[1] = pt.E
 		grid[pt.N] = v
 	}
-	var ns []int
-	for n := range grid {
-		ns = append(ns, n)
-	}
-	sortInts(ns)
+	ns := sortedGridKeys(grid)
 	for _, n := range ns {
 		v := grid[n]
 		sb.WriteString(fmt.Sprintf("%d,%s,%s\n", n, csvE(v[0]), csvE(v[1])))
@@ -313,6 +305,17 @@ func fmtE(e float64) string {
 		return "-"
 	}
 	return fmt.Sprintf("%.3f", e)
+}
+
+// sortedGridKeys returns the keys of an efficiency grid in increasing
+// order, so figure rendering and CSV emission are deterministic.
+func sortedGridKeys(grid map[int][2]float64) []int {
+	ns := make([]int, 0, len(grid))
+	for n := range grid { //nodetbreak:ordered — sorted immediately below
+		ns = append(ns, n)
+	}
+	sortInts(ns)
+	return ns
 }
 
 func sortInts(s []int) {

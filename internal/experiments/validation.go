@@ -146,10 +146,13 @@ func PredictionAccuracy(pr model.Params, ns, ps []int) ([]PredictionOutcome, err
 			if len(tps) < 2 {
 				continue // nothing to predict between
 			}
+			// Scan in the fixed order of the named table, not over the
+			// tps map: when two algorithms tie on Tp the winner must not
+			// depend on map iteration order (caught by nodetbreak).
 			best, bestTp := "", math.Inf(1)
-			for name, tp := range tps {
-				if tp < bestTp {
-					best, bestTp = name, tp
+			for _, c := range named {
+				if tp, ran := tps[c.name]; ran && tp < bestTp {
+					best, bestTp = c.name, tp
 				}
 			}
 			predLetter := regions.Best(pr, float64(n), float64(p))

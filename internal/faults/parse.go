@@ -134,7 +134,7 @@ func (c *Config) String() string {
 	}
 	items = append(items, fmt.Sprintf("seed=%d", c.Seed))
 	ranks := make([]int, 0, len(c.Stragglers))
-	for r := range c.Stragglers {
+	for r := range c.Stragglers { //nodetbreak:ordered — sorted immediately below
 		ranks = append(ranks, r)
 	}
 	sort.Ints(ranks)

@@ -52,7 +52,8 @@ func SolveW(to func(n, p float64) float64, p, e float64) (float64, bool) {
 	return 0, false
 }
 
-// SolveN is SolveW returning the matrix dimension n = W^(1/3).
+// SolveN is SolveW returning the matrix dimension n = W^(1/3)
+// instead of the operation count W (flops).
 func SolveN(to func(n, p float64) float64, p, e float64) (float64, bool) {
 	w, ok := SolveW(to, p, e)
 	if !ok {
@@ -61,7 +62,8 @@ func SolveN(to func(n, p float64) float64, p, e float64) (float64, bool) {
 	return math.Cbrt(w), true
 }
 
-// ConcurrencyW returns the problem size forced by a concurrency limit:
+// ConcurrencyW returns the problem size W (flops) forced by a
+// concurrency limit:
 // if an algorithm can use at most maxProcs(n) processors, then W must
 // grow as the inverse of that bound. maxProcs must be strictly
 // increasing; the inverse is found by bisection on n.
@@ -120,8 +122,9 @@ func GrowthExponent(w func(p float64) float64, pLo, pHi float64, samples int) fl
 }
 
 // MemoryConstrainedN solves memPerProc(n, p) = capacity for n — the
-// largest problem a machine with fixed per-processor memory can hold
-// at p processors. memPerProc must be strictly increasing in n.
+// largest matrix dimension a machine with fixed per-processor memory
+// (capacity in matrix words) can hold at p processors. memPerProc must
+// be strictly increasing in n.
 func MemoryConstrainedN(memPerProc func(n, p float64) float64, p, capacity float64) float64 {
 	lo, hi := 1.0, 2.0
 	for memPerProc(hi, p) < capacity {
@@ -165,7 +168,8 @@ func MaxEfficiencyDNS(ts, tw float64) float64 {
 }
 
 // AllPortGranularityW returns the problem size lower bound imposed by
-// the minimum message size needed to use all hypercube channels
+// the minimum problem size W (flops) at which messages are large
+// enough to use all hypercube channels
 // simultaneously (Section 7): W ≥ (1/8)·p^1.5·(log p)³ for the simple
 // algorithm and W ≥ p·(log p)³ for the GK algorithm. These bounds are
 // what make all-port communication scale no better than one-port.

@@ -96,6 +96,27 @@ func (m *Machine) WithFaults(f *faults.Config) *Machine {
 	return &mm
 }
 
+// WithCost returns a copy of m with the given ts and tw cost constants
+// (flop units). The receiver is not mutated: cost constants are
+// read-only once a machine is constructed (enforced by the clockguard
+// analyzer), so configured variants are always derived as copies.
+func (m *Machine) WithCost(ts, tw float64) *Machine {
+	mm := *m
+	mm.Ts = ts
+	mm.Tw = tw
+	return &mm
+}
+
+// WithAllPort returns a copy of m in the all-port (on=true) or one-port
+// communication regime of Section 7. Like WithCost, it derives a copy
+// because the regime selects how every subsequent ts + tw·m transfer is
+// charged.
+func (m *Machine) WithAllPort(on bool) *Machine {
+	mm := *m
+	mm.AllPort = on
+	return &mm
+}
+
 // Route returns the ordered node sequence of the path a message from
 // src to dst takes, excluding src itself: dimension-order (e-cube) on
 // hypercubes and 3-D grids, x-then-y on meshes, direct elsewhere. Used

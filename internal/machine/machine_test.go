@@ -170,3 +170,40 @@ func TestCutThroughPerHopLatency(t *testing.T) {
 		t.Fatal("negative Th accepted")
 	}
 }
+
+func TestWithCostDerivesCopy(t *testing.T) {
+	m := Hypercube(8, 150, 3)
+	m2 := m.WithCost(10, 1)
+	if m2 == m {
+		t.Fatal("WithCost returned the receiver, want a copy")
+	}
+	if m2.Ts != 10 || m2.Tw != 1 {
+		t.Fatalf("WithCost copy has ts=%v tw=%v, want 10, 1", m2.Ts, m2.Tw)
+	}
+	if m.Ts != 150 || m.Tw != 3 {
+		t.Fatalf("WithCost mutated the receiver: ts=%v tw=%v", m.Ts, m.Tw)
+	}
+	if m2.Topo != m.Topo || m2.Routing != m.Routing {
+		t.Fatal("WithCost must preserve topology and routing")
+	}
+}
+
+func TestWithAllPortDerivesCopy(t *testing.T) {
+	m := Hypercube(8, 150, 3)
+	ap := m.WithAllPort(true)
+	if ap == m {
+		t.Fatal("WithAllPort returned the receiver, want a copy")
+	}
+	if !ap.AllPort {
+		t.Fatal("WithAllPort(true) copy is not all-port")
+	}
+	if m.AllPort {
+		t.Fatal("WithAllPort mutated the receiver")
+	}
+	if off := ap.WithAllPort(false); off.AllPort || !ap.AllPort {
+		t.Fatal("WithAllPort(false) must derive a one-port copy without mutating")
+	}
+	if ap.Ts != m.Ts || ap.Tw != m.Tw || ap.Topo != m.Topo {
+		t.Fatal("WithAllPort must preserve cost constants and topology")
+	}
+}

@@ -132,8 +132,9 @@ func ExactGKImprovedTp(pr Params, n, p int) float64 {
 	return flopTerm(n, p) + 5*collective.JohnssonHoTime(pr.Ts, pr.Tw, bs*bs, q)
 }
 
-// ExactGKAllPortTp equals Eq. (17) by construction: the five stages are
-// charged one fifth of the all-port communication total each.
+// ExactGKAllPortTp returns the parallel time Tp (flop units) of
+// Eq. (17) by construction: the five stages are charged one fifth of
+// the all-port communication total each.
 func ExactGKAllPortTp(pr Params, n, p int) float64 {
 	if p == 1 {
 		return flopTerm(n, 1)

@@ -48,7 +48,7 @@ func (t *Trace) chromeEvents() []chromeEvent {
 			Args: map[string]any{"name": fmt.Sprintf("rank %d", r)},
 		})
 	}
-	for _, e := range t.Events {
+	for _, e := range t.sortedEvents() {
 		ce := chromeEvent{Ts: e.Start, Pid: 0, Tid: e.Rank, Cat: e.Kind.String()}
 		switch e.Kind {
 		case EventCompute:
@@ -102,12 +102,13 @@ func (t *Trace) WriteChromeTrace(w io.Writer) error {
 }
 
 // WriteCSV writes the raw event list as CSV with a header row, one
-// event per line in the Trace's deterministic order.
+// event per line in (rank, start) order regardless of how the Trace
+// was assembled.
 func (t *Trace) WriteCSV(w io.Writer) error {
 	if _, err := fmt.Fprintln(w, "rank,kind,peer,tag,words,start,end"); err != nil {
 		return err
 	}
-	for _, e := range t.Events {
+	for _, e := range t.sortedEvents() {
 		if _, err := fmt.Fprintf(w, "%d,%s,%d,%d,%d,%g,%g\n",
 			e.Rank, e.Kind, e.Peer, e.Tag, e.Words, e.Start, e.End); err != nil {
 			return err

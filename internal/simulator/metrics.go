@@ -136,16 +136,19 @@ func buildMetrics(procs []*Proc, tp float64, mach *machine.Machine) *Metrics {
 			Retries:        pr.retries,
 			RetryTime:      pr.retryTime,
 		}
-		for dst, l := range pr.links {
+		// Iterate destinations in sorted order rather than ranging the
+		// map directly: ranks ascend with i, so Links comes out already
+		// ordered by (From, To) with no post-sort to forget.
+		dsts := make([]int, 0, len(pr.links))
+		for dst := range pr.links { //nodetbreak:ordered — sorted immediately below
+			dsts = append(dsts, dst)
+		}
+		sort.Ints(dsts)
+		for _, dst := range dsts {
+			l := pr.links[dst]
 			m.Links = append(m.Links, LinkMetrics{From: i, To: dst, Msgs: l.msgs, Words: l.words, Busy: l.busy})
 		}
 	}
-	sort.Slice(m.Links, func(a, b int) bool {
-		if m.Links[a].From != m.Links[b].From {
-			return m.Links[a].From < m.Links[b].From
-		}
-		return m.Links[a].To < m.Links[b].To
-	})
 	if mach != nil && mach.Faults.Enabled() {
 		d := &Degradation{CriticalRank: m.CriticalRank()}
 		for _, r := range m.Ranks {
@@ -236,7 +239,39 @@ func (m *Metrics) LoadImbalance() float64 {
 // is built on.
 func (m *Metrics) Overhead(w float64) float64 { return float64(m.P)*m.Tp - w }
 
-// WriteRanksCSV writes the per-rank table as CSV with a header row.
+// sortedRanks returns m.Ranks ordered by rank. buildMetrics already
+// constructs the slice in rank order, in which case this is a cheap
+// no-copy pass-through; the sort exists so emission stays deterministic
+// even for a Metrics assembled by some future call site that forgets
+// the ordering contract.
+func (m *Metrics) sortedRanks() []RankMetrics {
+	if sort.SliceIsSorted(m.Ranks, func(a, b int) bool { return m.Ranks[a].Rank < m.Ranks[b].Rank }) {
+		return m.Ranks
+	}
+	rs := append([]RankMetrics(nil), m.Ranks...)
+	sort.Slice(rs, func(a, b int) bool { return rs[a].Rank < rs[b].Rank })
+	return rs
+}
+
+// sortedLinks returns m.Links ordered by (From, To), with the same
+// defensive-copy behavior as sortedRanks.
+func (m *Metrics) sortedLinks() []LinkMetrics {
+	less := func(a, b LinkMetrics) bool {
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.To < b.To
+	}
+	if sort.SliceIsSorted(m.Links, func(a, b int) bool { return less(m.Links[a], m.Links[b]) }) {
+		return m.Links
+	}
+	ls := append([]LinkMetrics(nil), m.Links...)
+	sort.Slice(ls, func(a, b int) bool { return less(ls[a], ls[b]) })
+	return ls
+}
+
+// WriteRanksCSV writes the per-rank table as CSV with a header row,
+// rows in increasing rank order regardless of how m was assembled.
 // The last four columns carry the fault bookkeeping; they are written
 // unconditionally (as 1/0 on a healthy machine) so the schema does not
 // depend on the configuration.
@@ -244,7 +279,7 @@ func (m *Metrics) WriteRanksCSV(w io.Writer) error {
 	if _, err := fmt.Fprintln(w, "rank,compute,send,recv_wait,idle,finish,msgs_sent,msgs_recvd,words_sent,words_recvd,compute_factor,straggler_extra,retries,retry_time"); err != nil {
 		return err
 	}
-	for _, r := range m.Ranks {
+	for _, r := range m.sortedRanks() {
 		if _, err := fmt.Fprintf(w, "%d,%g,%g,%g,%g,%g,%d,%d,%d,%d,%g,%g,%d,%g\n",
 			r.Rank, r.Compute, r.Send, r.RecvWait, r.Idle, r.Finish,
 			r.MsgsSent, r.MsgsRecvd, r.WordsSent, r.WordsRecvd,
@@ -255,12 +290,14 @@ func (m *Metrics) WriteRanksCSV(w io.Writer) error {
 	return nil
 }
 
-// WriteLinksCSV writes the per-link table as CSV with a header row.
+// WriteLinksCSV writes the per-link table as CSV with a header row,
+// rows in increasing (from, to) order regardless of how m was
+// assembled.
 func (m *Metrics) WriteLinksCSV(w io.Writer) error {
 	if _, err := fmt.Fprintln(w, "from,to,msgs,words,busy,utilization"); err != nil {
 		return err
 	}
-	for _, l := range m.Links {
+	for _, l := range m.sortedLinks() {
 		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%g,%g\n",
 			l.From, l.To, l.Msgs, l.Words, l.Busy, l.Utilization(m.Tp)); err != nil {
 			return err

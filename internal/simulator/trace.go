@@ -2,6 +2,7 @@ package simulator
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"matscale/internal/machine"
@@ -59,6 +60,26 @@ type Trace struct {
 	P      int
 	Tp     float64
 	Events []Event // ordered by (Rank, Start)
+}
+
+// sortedEvents returns t.Events in (Rank, Start) order. runInternal
+// already builds the trace sorted, in which case this is a no-copy
+// pass-through; the stable sort exists so the exporters stay
+// byte-deterministic even for a Trace assembled by some future call
+// site that forgets the ordering contract.
+func (t *Trace) sortedEvents() []Event {
+	less := func(a, b Event) bool {
+		if a.Rank != b.Rank {
+			return a.Rank < b.Rank
+		}
+		return a.Start < b.Start
+	}
+	if sort.SliceIsSorted(t.Events, func(i, j int) bool { return less(t.Events[i], t.Events[j]) }) {
+		return t.Events
+	}
+	es := append([]Event(nil), t.Events...)
+	sort.SliceStable(es, func(i, j int) bool { return less(es[i], es[j]) })
+	return es
 }
 
 // PerRank returns rank r's events in time order.
