@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-json lint vet vet-tool fuzz cover verify repro clean
+.PHONY: all build test race bench bench-smoke bench-json sweep-determinism lint vet vet-tool fuzz cover verify repro clean
 
 all: build test
 
@@ -25,6 +25,16 @@ bench-smoke:
 bench-json:
 	$(GO) test -bench=. -benchtime=3x -count=2 -run='^$$' ./... | tee bench_pr.txt
 	$(GO) run ./scripts/bench2json -in bench_pr.txt -out BENCH_pr.json
+
+# The CI determinism check: the same sweep spec must emit byte-identical
+# CSV at 1 and 8 host workers, under the race detector (docs/SWEEP.md).
+SWEEP_ARGS = sweep -alg cannon,gk,berntsen -machine custom -ts 17 -n 16,32 -p 16,64 -faults ';straggler=2@rank0,seed=42'
+sweep-determinism:
+	$(GO) build -race -o bin/matscale ./cmd/matscale
+	./bin/matscale $(SWEEP_ARGS) -jobs 1 -csv sweep_serial.csv
+	./bin/matscale $(SWEEP_ARGS) -jobs 8 -csv sweep_parallel.csv
+	cmp sweep_serial.csv sweep_parallel.csv
+	@echo "sweep output is byte-identical at -jobs=1 and -jobs=8"
 
 # Same linters as CI (.golangci.yml); requires golangci-lint on PATH.
 lint: vet
@@ -63,5 +73,5 @@ repro:
 	$(GO) run ./cmd/matscale all | tee REPRODUCTION.txt
 
 clean:
-	rm -f REPRODUCTION.txt test_output.txt bench_output.txt bench_pr.txt coverage.out
+	rm -f REPRODUCTION.txt test_output.txt bench_output.txt bench_pr.txt coverage.out sweep_serial.csv sweep_parallel.csv
 	rm -rf bin

@@ -6,11 +6,13 @@ import (
 	"reflect"
 
 	"matscale/internal/core"
+	"matscale/internal/experiments"
 	"matscale/internal/faults"
 	"matscale/internal/model"
 	"matscale/internal/regions"
 	"matscale/internal/shm"
 	"matscale/internal/simulator"
+	"matscale/internal/sweep"
 )
 
 // Observability types, re-exported.
@@ -46,6 +48,29 @@ type (
 // docs/FAULTS.md for the full grammar.
 var ParseFaults = faults.Parse
 
+// Sweep types, re-exported. See docs/SWEEP.md for the spec grammar and
+// the determinism guarantee.
+type (
+	// SweepSpec declares an experiment grid: the cross product of
+	// algorithms × machines × processor counts × matrix sizes ×
+	// optional fault scenarios. Zero-value fields have sensible
+	// defaults only where documented on the type; Validate reports
+	// what a spec is missing.
+	SweepSpec = sweep.Spec
+	// SweepCell is one measured grid cell: its coordinates plus the
+	// simulated and model-predicted quantities (or the structural
+	// rejection that kept it from running).
+	SweepCell = sweep.CellResult
+	// SweepResult is a completed sweep: the spec that produced it, the
+	// per-cell measurements in deterministic sorted order, and the run
+	// tallies. It exports to CSV, JSON and an aligned text table.
+	SweepResult = sweep.Result
+)
+
+// SweepAlgorithms lists the algorithm names a SweepSpec accepts,
+// sorted.
+var SweepAlgorithms = sweep.AlgorithmNames
+
 // Option configures a Run, RunAuto or HostMul call.
 type Option func(*runConfig)
 
@@ -55,6 +80,7 @@ type runConfig struct {
 	dnsGrid   int
 	workers   int
 	faults    *faults.Config
+	progress  func(done, total int, c SweepCell)
 }
 
 func newRunConfig(opts []Option) runConfig {
@@ -91,12 +117,26 @@ func WithDNSGrid(gridSide int) Option {
 	return func(c *runConfig) { c.dnsGrid = gridSide }
 }
 
-// WithWorkers sets the number of host goroutine workers used by
-// HostMul (and ParallelMul). 0 or less means all CPUs. It does not
-// affect the simulated algorithms, whose processor count is the
-// machine's.
+// WithWorkers sets the number of host goroutine workers used by the
+// entry points that parallelize on the host: Sweep and RunAll fan
+// their independent simulations over n workers, and HostMul (and
+// ParallelMul) splits the multiplication itself. 0 or less means all
+// CPUs. It does not affect the simulated algorithms, whose processor
+// count is the machine's, and it never changes any measured or
+// emitted byte — only the wall-clock time.
 func WithWorkers(n int) Option {
 	return func(c *runConfig) { c.workers = n }
+}
+
+// WithProgress asks Sweep to call fn after each grid cell finishes,
+// with the running completion count, the total cell count and the
+// cell's result. Calls arrive in completion order — which depends on
+// the worker schedule, unlike the returned SweepResult, whose cell
+// order does not. fn must be safe for concurrent use only in the sense
+// that Sweep serializes the calls itself; fn may write to a terminal
+// directly.
+func WithProgress(fn func(done, total int, c SweepCell)) Option {
+	return func(c *runConfig) { c.progress = fn }
 }
 
 // WithFaults runs the algorithm on a deterministically perturbed
@@ -279,6 +319,44 @@ func runAuto(cfg runConfig, m *Machine, a, b *Matrix) (*Result, Selection, error
 		lastErr = err
 	}
 	return nil, Selection{}, fmt.Errorf("matscale: no algorithm accepts n=%d on %s: %w", a.Rows, m, lastErr)
+}
+
+// Sweep runs a whole experiment grid — every cell of spec's
+// algorithms × machines × Ps × Ns × fault-scenarios cross product —
+// fanning the independent simulations over a host worker pool and
+// returning the merged result:
+//
+//	spec := &matscale.SweepSpec{
+//	        Algorithms: []string{"cannon", "gk"},
+//	        Machines:   []string{"ncube2"},
+//	        Ps:         []int{16, 64, 256},
+//	        Ns:         []int{64, 128},
+//	}
+//	res, err := matscale.Sweep(spec, matscale.WithWorkers(4))
+//	// res.Cells holds one SweepCell per grid point, sorted;
+//	// res.CSV() / res.WriteJSON(w) / res.Render() export it.
+//
+// WithWorkers selects the pool size (default all CPUs) and
+// WithProgress observes cells as they complete; the other options are
+// ignored — per-cell fault scenarios come from spec.Faults, so that
+// clean-vs-faulted grids are part of the declarative spec. For a fixed
+// spec the result — including its CSV, JSON and rendered forms — is
+// byte-identical at every worker count; see docs/SWEEP.md.
+func Sweep(spec *SweepSpec, opts ...Option) (*SweepResult, error) {
+	cfg := newRunConfig(opts)
+	return sweep.Run(spec, sweep.Options{Workers: cfg.workers, Progress: cfg.progress})
+}
+
+// RunAll regenerates the full paper reproduction — every table, figure
+// and analysis — writing the rendered reports to w in the paper's
+// order. quick skips the two CM-5 efficiency sweeps (Figures 4 and 5),
+// which dominate the running time. The report sections and their inner
+// experiment grids run concurrently on the WithWorkers pool (default
+// all CPUs); the bytes written to w are identical for every worker
+// count. The other options are ignored.
+func RunAll(w io.Writer, quick bool, opts ...Option) error {
+	cfg := newRunConfig(opts)
+	return experiments.RunAllParallel(w, quick, cfg.workers)
 }
 
 // HostMul multiplies on the host machine with real goroutine workers —

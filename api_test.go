@@ -319,3 +319,96 @@ func TestRunRejectsInvalidFaults(t *testing.T) {
 		t.Fatal("invalid fault config accepted")
 	}
 }
+
+func sweepSpec() *matscale.SweepSpec {
+	return &matscale.SweepSpec{
+		Algorithms: []string{"cannon", "gk"},
+		Machines:   []string{"custom"},
+		Ts:         17, Tw: 3,
+		Ps:   []int{16, 64},
+		Ns:   []int{16, 32},
+		Seed: 1,
+	}
+}
+
+func TestSweepByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	spec := sweepSpec()
+	spec.Faults = []string{"", "straggler=2@rank0,seed=42"}
+	var baseCSV, baseJSON string
+	for _, workers := range []int{1, 4, 0} { // 0 = NumCPU
+		res, err := matscale.Sweep(spec, matscale.WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := res.WriteJSON(&sb); err != nil {
+			t.Fatal(err)
+		}
+		if baseCSV == "" {
+			baseCSV, baseJSON = res.CSV(), sb.String()
+			continue
+		}
+		if res.CSV() != baseCSV {
+			t.Fatalf("workers=%d: CSV diverged", workers)
+		}
+		if sb.String() != baseJSON {
+			t.Fatalf("workers=%d: JSON diverged", workers)
+		}
+	}
+}
+
+func TestSweepWithProgress(t *testing.T) {
+	var calls, total int
+	res, err := matscale.Sweep(sweepSpec(),
+		matscale.WithWorkers(2),
+		matscale.WithProgress(func(done, tot int, c matscale.SweepCell) {
+			calls++
+			total = tot
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != len(res.Cells) || total != len(res.Cells) {
+		t.Fatalf("progress calls = %d (total %d), want %d", calls, total, len(res.Cells))
+	}
+	if res.Ran == 0 {
+		t.Fatal("no cells ran")
+	}
+}
+
+func TestSweepRejectsBadSpec(t *testing.T) {
+	if _, err := matscale.Sweep(&matscale.SweepSpec{}); err == nil {
+		t.Fatal("empty spec accepted")
+	}
+}
+
+func TestSweepAlgorithmsListsRegistry(t *testing.T) {
+	names := matscale.SweepAlgorithms()
+	if len(names) < 6 {
+		t.Fatalf("registry too small: %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+}
+
+func TestRunAllByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) string {
+		var buf bytes.Buffer
+		if err := matscale.RunAll(&buf, true, matscale.WithWorkers(workers)); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	serial := run(1)
+	if serial == "" {
+		t.Fatal("RunAll wrote nothing")
+	}
+	for _, workers := range []int{4, 0} {
+		if run(workers) != serial {
+			t.Fatalf("RunAll output diverged at workers=%d", workers)
+		}
+	}
+}

@@ -8,6 +8,7 @@ package matscale_test
 
 import (
 	"fmt"
+	"io"
 	"testing"
 
 	"matscale"
@@ -413,6 +414,62 @@ func BenchmarkHostWorkerScaling(b *testing.B) {
 			b.SetBytes(int64(8 * 384 * 384 * 3))
 			for i := 0; i < b.N; i++ {
 				if _, err := shm.Mul(a, c, w, 64); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Sweep engine: serial vs parallel wall clock ---------------------------
+
+// BenchmarkSweepGridWorkers runs a fixed clean-vs-faulted experiment
+// grid through matscale.Sweep at 1, 4 and all-CPU host workers. The
+// results are byte-identical across the sub-benchmarks (the engine's
+// contract; see docs/SWEEP.md) — only the wall clock differs, which is
+// exactly what this measures. On a single-core host the variants tie;
+// the speedup appears with the cores.
+func BenchmarkSweepGridWorkers(b *testing.B) {
+	spec := &matscale.SweepSpec{
+		Algorithms: []string{"cannon", "gk"},
+		Machines:   []string{"custom"},
+		Ts:         17, Tw: 3,
+		Ps:     []int{16, 64},
+		Ns:     []int{16, 32, 64},
+		Faults: []string{"", "straggler=2@rank0,seed=42"},
+		Seed:   1,
+	}
+	for _, w := range []int{1, 4, 0} {
+		w := w
+		name := fmt.Sprintf("workers%d", w)
+		if w == 0 {
+			name = "workersNumCPU"
+		}
+		b.Run(name, func(b *testing.B) {
+			var res *matscale.SweepResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = matscale.Sweep(spec, matscale.WithWorkers(w))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Ran), "cells_ran")
+		})
+	}
+}
+
+// BenchmarkRunAllWorkers measures the full reproduction (quick=false:
+// every table, figure and validation) serial versus on a 4-worker
+// pool — the repository's headline serial-vs-parallel wall-clock
+// comparison. The emitted bytes are identical; compare the ns/op of
+// the two sub-benchmarks for the speedup.
+func BenchmarkRunAllWorkers(b *testing.B) {
+	for _, w := range []int{1, 4} {
+		w := w
+		b.Run(fmt.Sprintf("workers%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := matscale.RunAll(io.Discard, false, matscale.WithWorkers(w)); err != nil {
 					b.Fatal(err)
 				}
 			}

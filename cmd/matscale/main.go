@@ -22,12 +22,15 @@
 //	matscale improved   [-ts 9 -tw 1 -p 512]
 //	matscale isoval     [-alg cannon|gk -e 0.5]
 //	matscale predict
-//	matscale sweep      [-n 64 -p 64 -tw 3]
+//	matscale sweep      [-alg cannon,gk -machine ncube2 -n 16,32 -p 16,64]
+//	                    [-faults 'scenario1;scenario2'] [-seed 1]
+//	                    [-jobs 0] [-csv out.csv] [-json out.json] [-progress]
+//	matscale tssweep    [-n 64 -p 64 -tw 3]
 //	matscale saturation [-n 64 -ts 150 -tw 3]
 //	matscale verify
 //	matscale trace      [-op broadcast|allgather|...|gk -p 8 -m 64]
 //	                    [-chrome out.json]
-//	matscale all        [-quick]
+//	matscale all        [-quick] [-jobs 0]
 package main
 
 import (
@@ -80,7 +83,9 @@ func main() {
 	case "trace":
 		err = cmdTrace(args)
 	case "sweep":
-		err = cmdSweep(args)
+		err = cmdGridSweep(args)
+	case "tssweep":
+		err = cmdTsSweep(args)
 	case "saturation":
 		err = cmdSaturation(args)
 	case "all":
@@ -116,7 +121,8 @@ commands:
   predict      cross-validate the Section 6 predictions against races
   verify       self-check: every algorithm vs its paper equation
   trace        render the virtual-time schedule of a collective
-  sweep        GK-vs-Cannon winner as the startup time ts varies
+  sweep        run a whole experiment grid in parallel (algorithms × machines × n × p × faults)
+  tssweep      GK-vs-Cannon winner as the startup time ts varies
   saturation   fixed-size speedup saturation (Section 3)
   all          regenerate the complete reproduction in one run`)
 }

@@ -258,13 +258,87 @@ func TestCmdRegionsCSV(t *testing.T) {
 	}
 }
 
-func TestCmdSweep(t *testing.T) {
-	out, err := capture(t, func() error { return cmdSweep([]string{"-n", "16", "-p", "64"}) })
+func TestCmdTsSweep(t *testing.T) {
+	out, err := capture(t, func() error { return cmdTsSweep([]string{"-n", "16", "-p", "64"}) })
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out, "winner") {
-		t.Errorf("sweep output malformed:\n%s", out)
+		t.Errorf("tssweep output malformed:\n%s", out)
+	}
+}
+
+func TestCmdGridSweepRendersTable(t *testing.T) {
+	out, err := capture(t, func() error {
+		return cmdGridSweep([]string{"-alg", "cannon,gk", "-machine", "custom",
+			"-ts", "17", "-n", "16", "-p", "16,64", "-jobs", "2"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"cannon", "gk", "n/a:"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("grid sweep output missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestCmdGridSweepCSVIdenticalAcrossJobs(t *testing.T) {
+	dir := t.TempDir()
+	run := func(jobs int) string {
+		path := fmt.Sprintf("%s/out%d.csv", dir, jobs)
+		_, err := capture(t, func() error {
+			return cmdGridSweep([]string{"-alg", "cannon,gk", "-machine", "custom",
+				"-ts", "17", "-n", "16,32", "-p", "16,64",
+				"-faults", ";straggler=2@rank0,seed=42",
+				"-jobs", fmt.Sprint(jobs), "-csv", path})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	serial := run(1)
+	if !strings.Contains(serial, "algorithm,machine,p,n") {
+		t.Fatalf("CSV header missing:\n%.200s", serial)
+	}
+	if parallel := run(8); parallel != serial {
+		t.Fatal("sweep CSV differs between -jobs=1 and -jobs=8")
+	}
+}
+
+func TestCmdGridSweepJSONToStdout(t *testing.T) {
+	out, err := capture(t, func() error {
+		return cmdGridSweep([]string{"-alg", "cannon", "-machine", "custom",
+			"-ts", "17", "-n", "16", "-p", "16", "-json", "-"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"cells"`) {
+		t.Errorf("JSON output malformed:\n%.300s", out)
+	}
+}
+
+func TestCmdGridSweepErrors(t *testing.T) {
+	if _, err := capture(t, func() error {
+		return cmdGridSweep([]string{"-alg", "nope"})
+	}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if _, err := capture(t, func() error {
+		return cmdGridSweep([]string{"-p", "16,bogus"})
+	}); err == nil {
+		t.Error("bad -p list accepted")
+	}
+	if _, err := capture(t, func() error {
+		return cmdGridSweep([]string{"-faults", "loss=2"})
+	}); err == nil {
+		t.Error("invalid fault scenario accepted")
 	}
 }
 

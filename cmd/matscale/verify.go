@@ -122,8 +122,8 @@ func cmdVerify(args []string) error {
 	return nil
 }
 
-func cmdSweep(args []string) error {
-	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+func cmdTsSweep(args []string) error {
+	fs := flag.NewFlagSet("tssweep", flag.ExitOnError)
 	tw := fs.Float64("tw", 3, "per-word transfer time")
 	n := fs.Int("n", 64, "matrix dimension")
 	p := fs.Int("p", 64, "processors (power of eight for GK)")
@@ -167,6 +167,7 @@ func intSqrt(p int) int {
 func cmdAll(args []string) error {
 	fs := flag.NewFlagSet("all", flag.ExitOnError)
 	quick := fs.Bool("quick", false, "skip the CM-5 sweeps (Figures 4 and 5)")
+	jobs := fs.Int("jobs", 0, "host worker goroutines (0 = all CPUs); the output bytes do not depend on it")
 	fs.Parse(args)
-	return experiments.RunAll(os.Stdout, *quick)
+	return experiments.RunAllParallel(os.Stdout, *quick, *jobs)
 }

@@ -39,8 +39,9 @@ const (
 
 // deterministicPkgs lists the packages whose behavior must be
 // byte-identical run to run: the simulator and fault layer (replays),
-// the algorithm formulations, and the experiment drivers that emit
-// tables compared against golden output.
+// the algorithm formulations, the experiment drivers that emit tables
+// compared against golden output, and the sweep engine whose merged
+// results must not depend on the host worker count.
 var deterministicPkgs = map[string]bool{
 	SimulatorPath:                   true,
 	"matscale/internal/faults":      true,
@@ -48,6 +49,7 @@ var deterministicPkgs = map[string]bool{
 	"matscale/internal/collective":  true,
 	MachinePath:                     true,
 	"matscale/internal/experiments": true,
+	"matscale/internal/sweep":       true,
 }
 
 // chargedPkgs lists the algorithm/collective packages in which all

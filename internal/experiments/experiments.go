@@ -25,6 +25,7 @@ import (
 	"matscale/internal/model"
 	"matscale/internal/plot"
 	"matscale/internal/regions"
+	"matscale/internal/sweep"
 )
 
 // FigureParams returns the machine constants of the paper's region
@@ -145,8 +146,16 @@ type FigureEfficiency struct {
 // processors) or Figure 5 (fig=5: Cannon on 484, GK on 512 — the paper
 // uses the nearest perfect square to 512 for Cannon). Matrices contain
 // deterministic pseudo-random values; the products are computed for
-// real on the virtual-time CM-5.
+// real on the virtual-time CM-5. The sweep cells run on the default
+// worker pool (all host CPUs); see EfficiencyFigureWorkers.
 func EfficiencyFigure(fig int) (*FigureEfficiency, error) {
+	return EfficiencyFigureWorkers(fig, 0)
+}
+
+// EfficiencyFigureWorkers is EfficiencyFigure with an explicit host
+// worker count for the sweep engine (≤ 0: all CPUs). The figure is
+// identical for every worker count.
+func EfficiencyFigureWorkers(fig, workers int) (*FigureEfficiency, error) {
 	var pCannon, pGK, stepCannon, stepGK, nMax int
 	switch fig {
 	case 4:
@@ -163,11 +172,11 @@ func EfficiencyFigure(fig int) (*FigureEfficiency, error) {
 
 	out := &FigureEfficiency{Figure: fig}
 	var err error
-	out.Cannon, err = runCurve("Cannon", core.Cannon, pCannon, stepCannon, nMax)
+	out.Cannon, err = runCurve("Cannon", core.Cannon, pCannon, stepCannon, nMax, workers)
 	if err != nil {
 		return nil, err
 	}
-	out.GK, err = runCurve("GK", core.GK, pGK, stepGK, nMax)
+	out.GK, err = runCurve("GK", core.GK, pGK, stepGK, nMax, workers)
 	if err != nil {
 		return nil, err
 	}
@@ -178,18 +187,31 @@ func EfficiencyFigure(fig int) (*FigureEfficiency, error) {
 }
 
 // runCurve simulates one algorithm on the CM-5 preset over a sweep of
-// matrix sizes.
-func runCurve(name string, alg core.Algorithm, p, step, nMax int) (EfficiencyCurve, error) {
+// matrix sizes. The cells fan out over the engine's worker pool; each
+// point lands in its own slot, so the curve is identical for every
+// worker count.
+func runCurve(name string, alg core.Algorithm, p, step, nMax, workers int) (EfficiencyCurve, error) {
 	c := EfficiencyCurve{Algorithm: name, P: p}
+	var ns []int
 	for n := step; n <= nMax; n += step {
+		ns = append(ns, n)
+	}
+	pts := make([]EfficiencyPoint, len(ns))
+	err := sweep.ForEach(workers, len(ns), func(i int) error {
+		n := ns[i]
 		a := matrix.Random(n, n, uint64(n))
 		b := matrix.Random(n, n, uint64(n)+1)
 		res, err := alg(machine.CM5(p), a, b)
 		if err != nil {
-			return c, fmt.Errorf("%s n=%d p=%d: %w", name, n, p, err)
+			return fmt.Errorf("%s n=%d p=%d: %w", name, n, p, err)
 		}
-		c.Points = append(c.Points, EfficiencyPoint{N: n, E: res.Efficiency(), Tp: res.Sim.Tp})
+		pts[i] = EfficiencyPoint{N: n, E: res.Efficiency(), Tp: res.Sim.Tp}
+		return nil
+	})
+	if err != nil {
+		return c, err
 	}
+	c.Points = pts
 	return c, nil
 }
 

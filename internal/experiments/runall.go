@@ -3,80 +3,127 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"matscale/internal/core"
 	"matscale/internal/model"
+	"matscale/internal/sweep"
 )
 
 // RunAll regenerates the full reproduction — every table, figure and
 // analysis — and writes the rendered reports to w in the paper's
 // order. The quick flag skips the two CM-5 sweeps (Figures 4 and 5),
 // which dominate the running time.
+//
+// It is a compatibility wrapper over RunAllParallel with the default
+// worker pool (all host CPUs); the output is byte-identical for every
+// worker count.
 func RunAll(w io.Writer, quick bool) error {
-	section := func(title string) {
-		fmt.Fprintf(w, "\n================ %s ================\n\n", title)
+	return RunAllParallel(w, quick, 0)
+}
+
+// RunAllParallel is RunAll on the sweep engine: the report sections run
+// concurrently on workers host goroutines (≤ 0: all CPUs), each
+// rendering into its own buffer, and the buffers are emitted in the
+// paper's order — so the bytes written to w do not depend on the worker
+// count, only the wall-clock time does. The heavy sections (the CM-5
+// efficiency sweeps, the prediction grid, the isoefficiency
+// validation) additionally parallelize their inner cell loops on the
+// same pool size.
+func RunAllParallel(w io.Writer, quick bool, workers int) error {
+	type section struct {
+		title string
+		run   func() (string, error)
+	}
+	str := func(f func() string) func() (string, error) {
+		return func() (string, error) { return f(), nil }
 	}
 
-	section("Table 1 — overheads and scalability (ts=150, tw=3)")
-	fmt.Fprint(w, Table1(model.Params{Ts: 150, Tw: 3}))
-
+	sections := []section{
+		{"Table 1 — overheads and scalability (ts=150, tw=3)",
+			str(func() string { return Table1(model.Params{Ts: 150, Tw: 3}) })},
+	}
 	for fig := 1; fig <= 3; fig++ {
-		pr, _ := FigureParams(fig)
-		section(fmt.Sprintf("Figure %d — regions of superiority (ts=%g, tw=%g)", fig, pr.Ts, pr.Tw))
-		m, err := RegionFigure(fig, 30, 16)
+		fig := fig
+		pr, err := FigureParams(fig)
 		if err != nil {
 			return err
 		}
-		fmt.Fprint(w, m.Render())
+		sections = append(sections, section{
+			fmt.Sprintf("Figure %d — regions of superiority (ts=%g, tw=%g)", fig, pr.Ts, pr.Tw),
+			func() (string, error) {
+				m, err := RegionFigure(fig, 30, 16)
+				if err != nil {
+					return "", err
+				}
+				return m.Render(), nil
+			}})
 	}
-
 	if !quick {
 		for fig := 4; fig <= 5; fig++ {
-			section(fmt.Sprintf("Figure %d — CM-5 efficiency curves", fig))
-			f, err := EfficiencyFigure(fig)
-			if err != nil {
-				return err
-			}
-			fmt.Fprint(w, f.Render())
+			fig := fig
+			sections = append(sections, section{
+				fmt.Sprintf("Figure %d — CM-5 efficiency curves", fig),
+				func() (string, error) {
+					f, err := EfficiencyFigureWorkers(fig, workers)
+					if err != nil {
+						return "", err
+					}
+					return f.Render(), nil
+				}})
 		}
 	}
+	sections = append(sections,
+		section{"Section 6 — pairwise crossovers",
+			str(func() string { return CrossoverReport(model.Params{Ts: 150, Tw: 3}) })},
+		section{"Section 7 — all-port communication",
+			str(func() string { return AllPortReport(model.Params{Ts: 10, Tw: 3}) })},
+		section{"Section 8 — technology tradeoffs",
+			func() (string, error) {
+				return TechnologyReport(model.Params{Ts: 0.5, Tw: 3}, 1<<14, 0.05, 2)
+			}},
+		section{"Section 5.4.1 — GK with the Johnsson-Ho broadcast",
+			str(func() string { return ImprovedGKReport(model.Params{Ts: 9, Tw: 1}, 4096) })},
+		section{"Methodology validation — isoefficiency holds in simulation",
+			func() (string, error) {
+				pts, err := IsoefficiencyValidationWorkers(model.Params{Ts: 17, Tw: 3}, 0.5, "cannon", []int{4, 16, 64, 256}, workers)
+				if err != nil {
+					return "", err
+				}
+				return RenderIso("cannon", pts), nil
+			}},
+		section{"Methodology validation — Section 6 predictions vs simulated races",
+			func() (string, error) {
+				outcomes, err := PredictionAccuracyWorkers(model.Params{Ts: 17, Tw: 3}, []int{16, 32, 48, 64}, []int{64, 256, 512}, workers)
+				if err != nil {
+					return "", err
+				}
+				return RenderPrediction(outcomes), nil
+			}},
+		section{"Section 3 — fixed-size speedup saturation",
+			func() (string, error) {
+				sat, err := SpeedupSaturationWorkers(model.Params{Ts: 150, Tw: 3}, core.Cannon, 64, []int{1, 4, 16, 64, 256, 1024}, workers)
+				if err != nil {
+					return "", err
+				}
+				return RenderSpeedup(64, sat), nil
+			}},
+	)
 
-	section("Section 6 — pairwise crossovers")
-	fmt.Fprint(w, CrossoverReport(model.Params{Ts: 150, Tw: 3}))
-
-	section("Section 7 — all-port communication")
-	fmt.Fprint(w, AllPortReport(model.Params{Ts: 10, Tw: 3}))
-
-	section("Section 8 — technology tradeoffs")
-	tech, err := TechnologyReport(model.Params{Ts: 0.5, Tw: 3}, 1<<14, 0.05, 2)
-	if err != nil {
+	outs := make([]string, len(sections))
+	if err := sweep.ForEach(workers, len(sections), func(i int) error {
+		s, err := sections[i].run()
+		outs[i] = s
+		return err
+	}); err != nil {
 		return err
 	}
-	fmt.Fprint(w, tech)
 
-	section("Section 5.4.1 — GK with the Johnsson-Ho broadcast")
-	fmt.Fprint(w, ImprovedGKReport(model.Params{Ts: 9, Tw: 1}, 4096))
-
-	section("Methodology validation — isoefficiency holds in simulation")
-	pts, err := IsoefficiencyValidation(model.Params{Ts: 17, Tw: 3}, 0.5, "cannon", []int{4, 16, 64, 256})
-	if err != nil {
-		return err
+	var sb strings.Builder
+	for i, s := range sections {
+		fmt.Fprintf(&sb, "\n================ %s ================\n\n", s.title)
+		sb.WriteString(outs[i])
 	}
-	fmt.Fprint(w, RenderIso("cannon", pts))
-
-	section("Methodology validation — Section 6 predictions vs simulated races")
-	outcomes, err := PredictionAccuracy(model.Params{Ts: 17, Tw: 3}, []int{16, 32, 48, 64}, []int{64, 256, 512})
-	if err != nil {
-		return err
-	}
-	fmt.Fprint(w, RenderPrediction(outcomes))
-
-	section("Section 3 — fixed-size speedup saturation")
-	sat, err := SpeedupSaturation(model.Params{Ts: 150, Tw: 3}, core.Cannon, 64, []int{1, 4, 16, 64, 256, 1024})
-	if err != nil {
-		return err
-	}
-	fmt.Fprint(w, RenderSpeedup(64, sat))
-
-	return nil
+	_, err := io.WriteString(w, sb.String())
+	return err
 }

@@ -8,6 +8,7 @@ import (
 	"matscale/internal/machine"
 	"matscale/internal/matrix"
 	"matscale/internal/model"
+	"matscale/internal/sweep"
 )
 
 // SpeedupPoint is one measurement of a fixed-problem-size scaling run.
@@ -21,17 +22,30 @@ type SpeedupPoint struct {
 // SpeedupSaturation runs one algorithm at a fixed matrix size over a
 // growing processor range — the Section 3 premise that speedup
 // saturates and then falls for a fixed W. The algorithm must accept
-// every (n, p) pair supplied.
+// every (n, p) pair supplied. Points run on the sweep engine's default
+// worker pool; see SpeedupSaturationWorkers.
 func SpeedupSaturation(pr model.Params, alg core.Algorithm, n int, ps []int) ([]SpeedupPoint, error) {
+	return SpeedupSaturationWorkers(pr, alg, n, ps, 0)
+}
+
+// SpeedupSaturationWorkers is SpeedupSaturation with an explicit host
+// worker count (≤ 0: all CPUs); the points are identical for every
+// worker count.
+func SpeedupSaturationWorkers(pr model.Params, alg core.Algorithm, n int, ps []int, workers int) ([]SpeedupPoint, error) {
 	a := matrix.Random(n, n, uint64(n))
 	b := matrix.Random(n, n, uint64(n)+1)
-	var out []SpeedupPoint
-	for _, p := range ps {
+	out := make([]SpeedupPoint, len(ps))
+	err := sweep.ForEach(workers, len(ps), func(i int) error {
+		p := ps[i]
 		res, err := alg(machine.Hypercube(p, pr.Ts, pr.Tw), a, b)
 		if err != nil {
-			return nil, fmt.Errorf("p=%d: %w", p, err)
+			return fmt.Errorf("p=%d: %w", p, err)
 		}
-		out = append(out, SpeedupPoint{P: p, Tp: res.Sim.Tp, Speedup: res.Speedup(), Efficiency: res.Efficiency()})
+		out[i] = SpeedupPoint{P: p, Tp: res.Sim.Tp, Speedup: res.Speedup(), Efficiency: res.Efficiency()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -64,25 +78,37 @@ type TsSweepPoint struct {
 // a range of message startup times — the continuous version of the
 // paper's three-machines comparison (Figures 1–3): the GK algorithm's
 // smaller startup coefficient wins on high-latency machines, Cannon's
-// smaller bandwidth coefficient wins as ts shrinks.
+// smaller bandwidth coefficient wins as ts shrinks. Points run on the
+// sweep engine's default worker pool; see TsSweepWorkers.
 func TsSweep(tw float64, n, p int, tsValues []float64) ([]TsSweepPoint, error) {
+	return TsSweepWorkers(tw, n, p, tsValues, 0)
+}
+
+// TsSweepWorkers is TsSweep with an explicit host worker count (≤ 0:
+// all CPUs); the points are identical for every worker count.
+func TsSweepWorkers(tw float64, n, p int, tsValues []float64, workers int) ([]TsSweepPoint, error) {
 	a := matrix.Random(n, n, uint64(n))
 	b := matrix.Random(n, n, uint64(n)+1)
-	var out []TsSweepPoint
-	for _, ts := range tsValues {
+	out := make([]TsSweepPoint, len(tsValues))
+	err := sweep.ForEach(workers, len(tsValues), func(i int) error {
+		ts := tsValues[i]
 		cres, err := core.Cannon(machine.Hypercube(p, ts, tw), a, b)
 		if err != nil {
-			return nil, fmt.Errorf("cannon ts=%v: %w", ts, err)
+			return fmt.Errorf("cannon ts=%v: %w", ts, err)
 		}
 		gres, err := core.GK(machine.Hypercube(p, ts, tw), a, b)
 		if err != nil {
-			return nil, fmt.Errorf("gk ts=%v: %w", ts, err)
+			return fmt.Errorf("gk ts=%v: %w", ts, err)
 		}
 		pt := TsSweepPoint{Ts: ts, TpCannon: cres.Sim.Tp, TpGK: gres.Sim.Tp, Winner: "Cannon"}
 		if gres.Sim.Tp < cres.Sim.Tp {
 			pt.Winner = "GK"
 		}
-		out = append(out, pt)
+		out[i] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -11,6 +11,7 @@ import (
 	"matscale/internal/matrix"
 	"matscale/internal/model"
 	"matscale/internal/regions"
+	"matscale/internal/sweep"
 	"matscale/internal/topology"
 )
 
@@ -32,7 +33,16 @@ type IsoPoint struct {
 // processor count, rounds the prescribed n to the nearest runnable
 // size, runs the real algorithm on the simulator, and reports the
 // measured efficiencies — which stay at the target up to rounding.
+// The per-p cells run on the sweep engine's default worker pool; see
+// IsoefficiencyValidationWorkers.
 func IsoefficiencyValidation(pr model.Params, target float64, algorithm string, ps []int) ([]IsoPoint, error) {
+	return IsoefficiencyValidationWorkers(pr, target, algorithm, ps, 0)
+}
+
+// IsoefficiencyValidationWorkers is IsoefficiencyValidation with an
+// explicit host worker count (≤ 0: all CPUs); the points are identical
+// for every worker count.
+func IsoefficiencyValidationWorkers(pr model.Params, target float64, algorithm string, ps []int, workers int) ([]IsoPoint, error) {
 	var (
 		alg  core.Algorithm
 		side func(p int) int // structural divisor of n
@@ -48,14 +58,15 @@ func IsoefficiencyValidation(pr model.Params, target float64, algorithm string, 
 		return nil, fmt.Errorf("experiments: unknown algorithm %q", algorithm)
 	}
 
-	var out []IsoPoint
-	for _, p := range ps {
+	out := make([]IsoPoint, len(ps))
+	err := sweep.ForEach(workers, len(ps), func(i int) error {
+		p := ps[i]
 		// The implementation-exact overheads extended to continuous n
 		// (the closed forms are smooth in n at fixed p).
 		cont := func(n, q float64) float64 { return toCont(pr, algorithm, n, q) }
 		nReal, ok := iso.SolveN(cont, float64(p), target)
 		if !ok {
-			return nil, fmt.Errorf("experiments: no isoefficiency fixed point at p=%d", p)
+			return fmt.Errorf("experiments: no isoefficiency fixed point at p=%d", p)
 		}
 		s := side(p)
 		n := int(math.Round(nReal/float64(s))) * s
@@ -66,9 +77,13 @@ func IsoefficiencyValidation(pr model.Params, target float64, algorithm string, 
 		b := matrix.Random(n, n, uint64(p)+1)
 		res, err := alg(machine.Hypercube(p, pr.Ts, pr.Tw), a, b)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, IsoPoint{P: p, N: n, ETarget: target, EMeasured: res.Efficiency()})
+		out[i] = IsoPoint{P: p, N: n, ETarget: target, EMeasured: res.Efficiency()}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -116,8 +131,18 @@ func (o PredictionOutcome) Regret() float64 { return o.PredictedTp / o.BestTp }
 // end to end: over a grid of runnable (n, p) configurations it races
 // every applicable algorithm on the simulator and compares the actual
 // winner with the Table 1 overhead prediction. The returned outcomes
-// let callers check both the hit rate and the regret of misses.
+// let callers check both the hit rate and the regret of misses. The
+// grid cells run on the sweep engine's default worker pool; see
+// PredictionAccuracyWorkers.
 func PredictionAccuracy(pr model.Params, ns, ps []int) ([]PredictionOutcome, error) {
+	return PredictionAccuracyWorkers(pr, ns, ps, 0)
+}
+
+// PredictionAccuracyWorkers is PredictionAccuracy with an explicit
+// host worker count (≤ 0: all CPUs); the outcomes are identical for
+// every worker count — cells land in grid order and skipped cells are
+// filtered in that same order.
+func PredictionAccuracyWorkers(pr model.Params, ns, ps []int, workers int) ([]PredictionOutcome, error) {
 	named := []struct {
 		name string
 		alg  core.Algorithm
@@ -129,48 +154,65 @@ func PredictionAccuracy(pr model.Params, ns, ps []int) ([]PredictionOutcome, err
 	}
 	letterName := map[byte]string{'b': "Berntsen", 'c': "Cannon", 'a': "GK", 'd': "DNS"}
 
-	var out []PredictionOutcome
+	type gridCell struct{ n, p int }
+	var cells []gridCell
 	for _, p := range ps {
 		for _, n := range ns {
-			mach := machine.Hypercube(p, pr.Ts, pr.Tw)
-			a := matrix.Random(n, n, uint64(n*p))
-			b := matrix.Random(n, n, uint64(n*p)+1)
-			tps := map[string]float64{}
-			for _, c := range named {
-				res, err := c.alg(mach, a, b)
-				if err != nil {
-					continue // structurally inapplicable here
-				}
-				tps[c.name] = res.Sim.Tp
+			cells = append(cells, gridCell{n: n, p: p})
+		}
+	}
+
+	slots := make([]*PredictionOutcome, len(cells))
+	err := sweep.ForEach(workers, len(cells), func(i int) error {
+		n, p := cells[i].n, cells[i].p
+		mach := machine.Hypercube(p, pr.Ts, pr.Tw)
+		a := matrix.Random(n, n, uint64(n*p))
+		b := matrix.Random(n, n, uint64(n*p)+1)
+		tps := map[string]float64{}
+		for _, c := range named {
+			res, err := c.alg(mach, a, b)
+			if err != nil {
+				continue // structurally inapplicable here
 			}
-			if len(tps) < 2 {
-				continue // nothing to predict between
+			tps[c.name] = res.Sim.Tp
+		}
+		if len(tps) < 2 {
+			return nil // nothing to predict between
+		}
+		// Scan in the fixed order of the named table, not over the
+		// tps map: when two algorithms tie on Tp the winner must not
+		// depend on map iteration order (caught by nodetbreak).
+		best, bestTp := "", math.Inf(1)
+		for _, c := range named {
+			if tp, ran := tps[c.name]; ran && tp < bestTp {
+				best, bestTp = c.name, tp
 			}
-			// Scan in the fixed order of the named table, not over the
-			// tps map: when two algorithms tie on Tp the winner must not
-			// depend on map iteration order (caught by nodetbreak).
-			best, bestTp := "", math.Inf(1)
-			for _, c := range named {
-				if tp, ran := tps[c.name]; ran && tp < bestTp {
-					best, bestTp = c.name, tp
-				}
-			}
-			predLetter := regions.Best(pr, float64(n), float64(p))
-			pred, ok := letterName[predLetter]
-			if !ok {
-				continue // serial or infeasible cell
-			}
-			predTp, ran := tps[pred]
-			if !ran {
-				// The predicted algorithm can't run this exact
-				// configuration (divisibility); skip the cell, matching
-				// how a real chooser would fall back.
-				continue
-			}
-			out = append(out, PredictionOutcome{
-				N: n, P: p, Predicted: pred, Actual: best,
-				PredictedTp: predTp, BestTp: bestTp,
-			})
+		}
+		predLetter := regions.Best(pr, float64(n), float64(p))
+		pred, ok := letterName[predLetter]
+		if !ok {
+			return nil // serial or infeasible cell
+		}
+		predTp, ran := tps[pred]
+		if !ran {
+			// The predicted algorithm can't run this exact
+			// configuration (divisibility); skip the cell, matching
+			// how a real chooser would fall back.
+			return nil
+		}
+		slots[i] = &PredictionOutcome{
+			N: n, P: p, Predicted: pred, Actual: best,
+			PredictedTp: predTp, BestTp: bestTp,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []PredictionOutcome
+	for _, o := range slots {
+		if o != nil {
+			out = append(out, *o)
 		}
 	}
 	return out, nil

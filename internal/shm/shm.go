@@ -86,10 +86,3 @@ func mulRows(c, a, b *matrix.Dense, r0, r1, tile int) {
 		}
 	}
 }
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}

@@ -1,0 +1,94 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestForEachRunsEveryIndexAtEveryWorkerCount(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 16} {
+		n := 37
+		out := make([]int, n)
+		if err := ForEach(workers, n, func(i int) error {
+			out[i] = i * i
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestForEachZeroAndNegativeCount(t *testing.T) {
+	called := false
+	if err := ForEach(4, 0, func(int) error { called = true; return nil }); err != nil || called {
+		t.Fatalf("n=0: err=%v called=%v", err, called)
+	}
+	if err := ForEach(4, -3, func(int) error { called = true; return nil }); err != nil || called {
+		t.Fatalf("n<0: err=%v called=%v", err, called)
+	}
+}
+
+func TestForEachReturnsLowestIndexError(t *testing.T) {
+	wantErr := func(i int) error { return fmt.Errorf("cell %d failed", i) }
+	for _, workers := range []int{1, 8} {
+		err := ForEach(workers, 20, func(i int) error {
+			if i == 7 || i == 13 {
+				return wantErr(i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "cell 7 failed" {
+			t.Fatalf("workers=%d: err = %v, want lowest-index error", workers, err)
+		}
+	}
+}
+
+func TestForEachRunsAllIndexesDespiteErrors(t *testing.T) {
+	n := 10
+	ran := make([]bool, n)
+	err := ForEach(4, n, func(i int) error {
+		ran[i] = true
+		if i%2 == 0 {
+			return errors.New("even")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	for i, r := range ran {
+		if !r {
+			t.Fatalf("index %d skipped after another cell errored", i)
+		}
+	}
+}
+
+func TestForEachRecoversPanics(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := ForEach(workers, 5, func(i int) error {
+			if i == 2 {
+				panic("boom")
+			}
+			return nil
+		})
+		if err == nil || !strings.Contains(err.Error(), "cell 2 panicked: boom") {
+			t.Fatalf("workers=%d: err = %v, want recovered panic", workers, err)
+		}
+	}
+}
+
+func TestWorkersDefaultsToCPUs(t *testing.T) {
+	if Workers(0) < 1 || Workers(-5) < 1 {
+		t.Fatal("Workers must resolve to at least one")
+	}
+	if Workers(7) != 7 {
+		t.Fatalf("Workers(7) = %d", Workers(7))
+	}
+}

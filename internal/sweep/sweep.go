@@ -1,0 +1,513 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"matscale/internal/core"
+	"matscale/internal/faults"
+	"matscale/internal/machine"
+	"matscale/internal/matrix"
+	"matscale/internal/model"
+)
+
+// Spec declares an experiment grid: the cross product of formulations,
+// machine presets, processor counts, matrix sizes and fault scenarios.
+// Every combination is one independent simulation cell.
+type Spec struct {
+	// Algorithms names the formulations to run: "simple", "cannon",
+	// "fox", "foxpipe", "berntsen", "dns", "gk", "gkimproved".
+	Algorithms []string `json:"algorithms"`
+	// Machines names the machine presets: "ncube2", "fast", "simd",
+	// "cm5", "custom". A "custom" machine is a store-and-forward
+	// hypercube with the spec's Ts/Tw constants.
+	Machines []string `json:"machines"`
+	// Ts and Tw are the cost constants of "custom" machines, in flop
+	// units (ignored by the named presets, which carry their own).
+	Ts float64 `json:"ts,omitempty"`
+	Tw float64 `json:"tw,omitempty"`
+	// Ps and Ns are the processor counts and matrix dimensions of the
+	// grid.
+	Ps []int `json:"ps"`
+	Ns []int `json:"ns"`
+	// Faults lists fault scenarios in the docs/FAULTS.md grammar; the
+	// empty string is the clean (unperturbed) machine. An empty or nil
+	// slice means clean only. Scenarios are canonicalized (parsed and
+	// re-rendered) before they become cell keys.
+	Faults []string `json:"faults,omitempty"`
+	// Seed is the base matrix seed; cells at dimension n multiply
+	// Random(n, n, Seed+2n) by Random(n, n, Seed+2n+1).
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// Cell is one point of an expanded grid. Cells order lexicographically
+// by (Algorithm, Machine, P, N, Faults) — the sorted cell keys that
+// make sweep output independent of scheduling.
+type Cell struct {
+	Algorithm string `json:"algorithm"`
+	Machine   string `json:"machine"`
+	P         int    `json:"p"`
+	N         int    `json:"n"`
+	// Faults is the canonicalized fault scenario, "" when clean.
+	Faults string `json:"faults,omitempty"`
+}
+
+// Key renders the cell's identity as a stable string, usable as a map
+// key or log label.
+func (c Cell) Key() string {
+	return fmt.Sprintf("%s|%s|p%d|n%d|%s", c.Algorithm, c.Machine, c.P, c.N, c.Faults)
+}
+
+// less orders cells by (Algorithm, Machine, P, N, Faults).
+func (c Cell) less(o Cell) bool {
+	if c.Algorithm != o.Algorithm {
+		return c.Algorithm < o.Algorithm
+	}
+	if c.Machine != o.Machine {
+		return c.Machine < o.Machine
+	}
+	if c.P != o.P {
+		return c.P < o.P
+	}
+	if c.N != o.N {
+		return c.N < o.N
+	}
+	return c.Faults < o.Faults
+}
+
+// CellResult is the measured outcome of one cell. All times are in the
+// paper's flop units.
+type CellResult struct {
+	Cell
+	// Tp is the simulated parallel time; Speedup, Efficiency and
+	// Overhead are the derived quantities for W = n³.
+	Tp         float64 `json:"tp"`
+	Speedup    float64 `json:"speedup"`
+	Efficiency float64 `json:"efficiency"`
+	Overhead   float64 `json:"overhead"`
+	// PredictedTp is the closed-form model prediction for the cell
+	// (memoized across the grid; 0 when the model has no equation for
+	// the formulation).
+	PredictedTp float64 `json:"predicted_tp,omitempty"`
+	// Retries and RetryTime report the reliable-delivery layer's work
+	// under a lossy fault scenario (zero when clean).
+	Retries   int     `json:"retries,omitempty"`
+	RetryTime float64 `json:"retry_time,omitempty"`
+	// Err is non-empty when the formulation rejected the configuration
+	// (structural requirements like perfect-square p or divisibility);
+	// such cells are recorded, not fatal.
+	Err string `json:"error,omitempty"`
+}
+
+// Result is a completed sweep: one CellResult per cell, in sorted cell
+// order regardless of the worker count that produced them.
+type Result struct {
+	Spec  Spec         `json:"spec"`
+	Cells []CellResult `json:"cells"`
+	// Ran counts cells that produced a measurement, Skipped those the
+	// formulation rejected.
+	Ran     int `json:"ran"`
+	Skipped int `json:"skipped"`
+	// PredCacheHits counts closed-form predictions served from the
+	// memo cache rather than recomputed — cells sharing
+	// (algorithm, machine, n, p) across fault scenarios hit it.
+	PredCacheHits int `json:"pred_cache_hits"`
+}
+
+// Options configures a sweep run.
+type Options struct {
+	// Workers is the number of host goroutines executing cells
+	// (≤ 0: all CPUs). The worker count never changes the Result.
+	Workers int
+	// Progress, when non-nil, is called after each cell completes with
+	// the number done so far and the total. Calls are serialized but
+	// arrive in completion order, which is scheduling-dependent — sinks
+	// that need determinism must consume the Result instead.
+	Progress func(done, total int, r CellResult)
+}
+
+// algorithms is the formulation registry of the grid layer, keyed by
+// the names the CLI uses.
+var algorithms = map[string]core.Algorithm{
+	"simple":     core.Simple,
+	"cannon":     core.Cannon,
+	"fox":        core.Fox,
+	"foxpipe":    core.FoxPipelined,
+	"berntsen":   core.Berntsen,
+	"dns":        core.DNS,
+	"gk":         core.GK,
+	"gkimproved": core.GKImprovedBroadcast,
+}
+
+// AlgorithmNames returns the formulation names the grid layer accepts,
+// sorted.
+func AlgorithmNames() []string {
+	names := make([]string, 0, len(algorithms))
+	for name := range algorithms { //nodetbreak:ordered — sorted immediately below
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// machineFor builds the machine a cell runs on. The preset names match
+// cmd/matscale's -machine flag.
+func machineFor(name string, p int, ts, tw float64) (*machine.Machine, error) {
+	switch name {
+	case "ncube2":
+		return machine.NCube2(p), nil
+	case "fast":
+		return machine.FutureHypercube(p), nil
+	case "simd":
+		return machine.SIMD(p), nil
+	case "cm5":
+		return machine.CM5(p), nil
+	case "custom":
+		return machine.Hypercube(p, ts, tw), nil
+	default:
+		return nil, fmt.Errorf("sweep: unknown machine preset %q", name)
+	}
+}
+
+// presetCost returns the ts/tw constants of a preset without building
+// its topology, for the prediction pre-pass.
+func presetCost(name string, ts, tw float64) (float64, float64) {
+	switch name {
+	case "ncube2":
+		return 150, 3
+	case "fast":
+		return 10, 3
+	case "simd":
+		return 0.5, 3
+	case "cm5":
+		return machine.CM5StartupMicros / machine.CM5FlopMicros, machine.CM5PerWordMicros / machine.CM5FlopMicros
+	default: // custom
+		return ts, tw
+	}
+}
+
+// Validate checks the spec's names, ranges and fault grammar without
+// running anything.
+func (s *Spec) Validate() error {
+	if len(s.Algorithms) == 0 {
+		return fmt.Errorf("sweep: spec names no algorithms (have: %s)", strings.Join(AlgorithmNames(), ", "))
+	}
+	for _, a := range s.Algorithms {
+		if _, ok := algorithms[a]; !ok {
+			return fmt.Errorf("sweep: unknown algorithm %q (have: %s)", a, strings.Join(AlgorithmNames(), ", "))
+		}
+	}
+	if len(s.Machines) == 0 {
+		return fmt.Errorf("sweep: spec names no machines")
+	}
+	for _, m := range s.Machines {
+		if _, err := machineFor(m, 1, s.Ts, s.Tw); err != nil {
+			return err
+		}
+	}
+	if len(s.Ps) == 0 || len(s.Ns) == 0 {
+		return fmt.Errorf("sweep: spec needs at least one p and one n")
+	}
+	for _, p := range s.Ps {
+		if p < 1 {
+			return fmt.Errorf("sweep: invalid processor count %d", p)
+		}
+	}
+	for _, n := range s.Ns {
+		if n < 1 {
+			return fmt.Errorf("sweep: invalid matrix dimension %d", n)
+		}
+	}
+	for _, f := range s.Faults {
+		if f == "" {
+			continue
+		}
+		if _, err := faults.Parse(f); err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
+	}
+	return nil
+}
+
+// Cells expands the spec to its sorted, deduplicated cell list with
+// canonicalized fault scenarios. The order is the merge order of every
+// sweep output.
+func (s *Spec) Cells() ([]Cell, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	scenarios, _, err := s.scenarios()
+	if err != nil {
+		return nil, err
+	}
+	var cells []Cell
+	for _, alg := range s.Algorithms {
+		for _, m := range s.Machines {
+			for _, p := range s.Ps {
+				for _, n := range s.Ns {
+					for _, f := range scenarios {
+						cells = append(cells, Cell{Algorithm: alg, Machine: m, P: p, N: n, Faults: f})
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(cells, func(i, j int) bool { return cells[i].less(cells[j]) })
+	// Deduplicate: repeated list entries must not run (or print) twice.
+	out := cells[:0]
+	for i, c := range cells {
+		if i == 0 || cells[i-1] != c {
+			out = append(out, c)
+		}
+	}
+	return out, nil
+}
+
+// scenarios canonicalizes the spec's fault list: parsed configs keyed
+// by their canonical rendering, with "" (clean) preserved. The clean
+// scenario is implied when the list is empty.
+func (s *Spec) scenarios() ([]string, map[string]*faults.Config, error) {
+	list := s.Faults
+	if len(list) == 0 {
+		list = []string{""}
+	}
+	var keys []string
+	cfgs := map[string]*faults.Config{}
+	for _, f := range list {
+		if f == "" {
+			keys = append(keys, "")
+			continue
+		}
+		cfg, err := faults.Parse(f)
+		if err != nil {
+			return nil, nil, fmt.Errorf("sweep: %w", err)
+		}
+		key := cfg.String()
+		if _, dup := cfgs[key]; !dup {
+			cfgs[key] = cfg
+		}
+		keys = append(keys, key)
+	}
+	return keys, cfgs, nil
+}
+
+// predKey identifies one closed-form prediction.
+type predKey struct {
+	alg, mach string
+	ts, tw    float64
+	n, p      int
+}
+
+// predictTp evaluates the paper's closed-form parallel time for a cell
+// (0 when the model has no equation for the formulation). The GK
+// algorithm on the CM-5 uses Eq. (18); everything else uses the
+// general hypercube equations (Eqs. 2–7).
+func predictTp(k predKey) float64 {
+	pr := model.Params{Ts: k.ts, Tw: k.tw}
+	nf, pf := float64(k.n), float64(k.p)
+	if k.alg == "gk" && k.mach == "cm5" {
+		return model.PaperGKCM5Tp(pr, nf, pf)
+	}
+	switch k.alg {
+	case "simple":
+		return model.PaperSimpleTp(pr, nf, pf)
+	case "cannon":
+		return model.PaperCannonTp(pr, nf, pf)
+	case "fox", "foxpipe":
+		return model.PaperFoxTp(pr, nf, pf)
+	case "berntsen":
+		return model.PaperBerntsenTp(pr, nf, pf)
+	case "dns":
+		return model.PaperDNSTp(pr, nf, pf)
+	case "gk":
+		return model.PaperGKTp(pr, nf, pf)
+	}
+	return 0
+}
+
+// Run executes the grid: it expands and sorts the cells, memoizes the
+// closed-form predictions in a serial pre-pass (so the hit count is
+// deterministic), fans the simulations out over the worker pool, and
+// merges the results in cell order. The Result is identical — byte for
+// byte once rendered — for every worker count.
+func Run(s *Spec, opt Options) (*Result, error) {
+	cells, err := s.Cells()
+	if err != nil {
+		return nil, err
+	}
+	_, cfgs, err := s.scenarios()
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Spec: *s, Cells: make([]CellResult, len(cells))}
+
+	// Serial pre-pass 1: closed-form predictions, memoized. Cells that
+	// share (algorithm, machine, n, p) — e.g. the same grid point under
+	// different fault scenarios — hit the cache.
+	preds := make([]float64, len(cells))
+	cache := map[predKey]float64{}
+	for i, c := range cells {
+		ts, tw := presetCost(c.Machine, s.Ts, s.Tw)
+		k := predKey{alg: c.Algorithm, mach: c.Machine, ts: ts, tw: tw, n: c.N, p: c.P}
+		v, ok := cache[k]
+		if ok {
+			res.PredCacheHits++
+		} else {
+			v = predictTp(k)
+			cache[k] = v
+		}
+		preds[i] = v
+	}
+
+	// Serial pre-pass 2: input matrices, shared read-only by every cell
+	// at the same dimension.
+	mats := map[int][2]*matrix.Dense{}
+	for _, c := range cells {
+		if _, ok := mats[c.N]; !ok {
+			seed := s.Seed + 2*uint64(c.N)
+			mats[c.N] = [2]*matrix.Dense{
+				matrix.Random(c.N, c.N, seed),
+				matrix.Random(c.N, c.N, seed+1),
+			}
+		}
+	}
+
+	// Fan out. Each worker writes only its own cell's slot; progress is
+	// the one serialized cross-worker channel.
+	var mu sync.Mutex
+	done := 0
+	err = ForEach(opt.Workers, len(cells), func(i int) error {
+		c := cells[i]
+		r := runCell(s, c, cfgs[c.Faults], mats[c.N])
+		r.PredictedTp = preds[i]
+		res.Cells[i] = r
+		if opt.Progress != nil {
+			mu.Lock()
+			done++
+			opt.Progress(done, len(cells), r)
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range res.Cells {
+		if r.Err == "" {
+			res.Ran++
+		} else {
+			res.Skipped++
+		}
+	}
+	return res, nil
+}
+
+// runCell executes one cell on its own machine instance and records
+// either the measurements or the formulation's rejection.
+func runCell(s *Spec, c Cell, fc *faults.Config, mats [2]*matrix.Dense) CellResult {
+	r := CellResult{Cell: c}
+	m, err := machineFor(c.Machine, c.P, s.Ts, s.Tw)
+	if err != nil {
+		r.Err = err.Error()
+		return r
+	}
+	if fc != nil {
+		m = m.WithFaults(fc)
+	}
+	res, err := algorithms[c.Algorithm](m, mats[0], mats[1])
+	if err != nil {
+		r.Err = err.Error()
+		return r
+	}
+	r.Tp = res.Sim.Tp
+	r.Speedup = res.Speedup()
+	r.Efficiency = res.Efficiency()
+	r.Overhead = res.Overhead()
+	r.Retries = res.Sim.Retries
+	r.RetryTime = res.Sim.RetryTime
+	return r
+}
+
+// csvFloat renders a float for CSV with full round-trip precision —
+// the shortest representation that parses back exactly, so emission is
+// deterministic and lossless.
+func csvFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteCSV emits the sweep as comma-separated values with a header
+// row, one line per cell in sorted cell order. For a fixed spec the
+// bytes are identical for every worker count.
+func (r *Result) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, "algorithm,machine,p,n,faults,tp,speedup,efficiency,overhead,predicted_tp,retries,retry_time,error\n"); err != nil {
+		return err
+	}
+	for _, c := range r.Cells {
+		line := strings.Join([]string{
+			c.Algorithm, c.Machine,
+			strconv.Itoa(c.P), strconv.Itoa(c.N),
+			csvQuote(c.Faults),
+			csvFloat(c.Tp), csvFloat(c.Speedup), csvFloat(c.Efficiency), csvFloat(c.Overhead),
+			csvFloat(c.PredictedTp),
+			strconv.Itoa(c.Retries), csvFloat(c.RetryTime),
+			csvQuote(c.Err),
+		}, ",")
+		if _, err := io.WriteString(w, line+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// csvQuote wraps fields that contain commas (fault scenarios, error
+// messages) in double quotes per RFC 4180.
+func csvQuote(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// CSV renders WriteCSV to a string.
+func (r *Result) CSV() string {
+	var sb strings.Builder
+	r.WriteCSV(&sb) // strings.Builder never errors
+	return sb.String()
+}
+
+// WriteJSON emits the sweep — spec, cells and counters — as indented
+// JSON. Deterministic for a fixed spec.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Render formats the sweep as the aligned table the CLI prints.
+func (r *Result) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "sweep: %d cells (%d ran, %d inapplicable), %d memoized predictions\n",
+		len(r.Cells), r.Ran, r.Skipped, r.PredCacheHits)
+	fmt.Fprintf(&sb, "%-10s %-7s %6s %6s %-26s %14s %12s %10s %14s\n",
+		"algorithm", "machine", "p", "n", "faults", "Tp", "predicted", "eff.", "overhead")
+	for _, c := range r.Cells {
+		f := c.Faults
+		if f == "" {
+			f = "-"
+		}
+		if c.Err != "" {
+			fmt.Fprintf(&sb, "%-10s %-7s %6d %6d %-26s n/a: %s\n",
+				c.Algorithm, c.Machine, c.P, c.N, f, c.Err)
+			continue
+		}
+		fmt.Fprintf(&sb, "%-10s %-7s %6d %6d %-26s %14.1f %12.1f %10.4f %14.1f\n",
+			c.Algorithm, c.Machine, c.P, c.N, f, c.Tp, c.PredictedTp, c.Efficiency, c.Overhead)
+	}
+	return sb.String()
+}

@@ -1,0 +1,283 @@
+package sweep
+
+import (
+	"encoding/json"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"matscale/internal/model"
+)
+
+func gridSpec() *Spec {
+	return &Spec{
+		Algorithms: []string{"cannon", "gk"},
+		Machines:   []string{"custom"},
+		Ts:         17, Tw: 3,
+		Ps:   []int{16, 64},
+		Ns:   []int{16, 32},
+		Seed: 1,
+	}
+}
+
+func TestSpecCellsSortedAndDeduplicated(t *testing.T) {
+	s := gridSpec()
+	s.Algorithms = []string{"gk", "cannon", "gk"} // unsorted, duplicated
+	cells, err := s.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2*2*2 { // 2 algs × 2 p × 2 n
+		t.Fatalf("got %d cells, want 8", len(cells))
+	}
+	for i := 1; i < len(cells); i++ {
+		if !cells[i-1].less(cells[i]) {
+			t.Fatalf("cells not strictly sorted at %d: %v !< %v", i, cells[i-1], cells[i])
+		}
+	}
+	if cells[0].Algorithm != "cannon" {
+		t.Fatalf("first cell %v, want cannon first", cells[0])
+	}
+}
+
+func TestSpecValidateRejectsBadInput(t *testing.T) {
+	cases := []func(*Spec){
+		func(s *Spec) { s.Algorithms = nil },
+		func(s *Spec) { s.Algorithms = []string{"nope"} },
+		func(s *Spec) { s.Machines = nil },
+		func(s *Spec) { s.Machines = []string{"nope"} },
+		func(s *Spec) { s.Ps = nil },
+		func(s *Spec) { s.Ns = nil },
+		func(s *Spec) { s.Ps = []int{0} },
+		func(s *Spec) { s.Ns = []int{-4} },
+		func(s *Spec) { s.Faults = []string{"straggler=???"} },
+	}
+	for i, mutate := range cases {
+		s := gridSpec()
+		mutate(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: bad spec accepted", i)
+		}
+	}
+	if err := gridSpec().Validate(); err != nil {
+		t.Fatalf("good spec rejected: %v", err)
+	}
+}
+
+func TestFaultScenariosCanonicalized(t *testing.T) {
+	s := gridSpec()
+	// Same scenario spelled twice plus clean: three spellings, two
+	// distinct scenarios.
+	s.Faults = []string{"", "straggler=2@rank0,seed=42", "seed=42,straggler=2@rank0"}
+	cells, err := s.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := map[string]bool{}
+	for _, c := range cells {
+		distinct[c.Faults] = true
+	}
+	if len(distinct) != 2 {
+		t.Fatalf("distinct scenarios = %v, want clean + one canonical faulted", distinct)
+	}
+	if !distinct[""] {
+		t.Fatal("clean scenario lost")
+	}
+}
+
+// TestRunByteIdenticalAcrossWorkerCounts is the engine's core
+// guarantee: a fixed spec emits byte-identical CSV, JSON and rendered
+// output at 1 worker, 4 workers and NumCPU workers — including under a
+// seeded fault scenario.
+func TestRunByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	s := gridSpec()
+	s.Faults = []string{"", "straggler=2@rank0,seed=42"}
+	var base *Result
+	for _, workers := range []int{1, 4, runtime.NumCPU()} {
+		r, err := Run(s, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if base == nil {
+			base = r
+			continue
+		}
+		if got, want := r.CSV(), base.CSV(); got != want {
+			t.Fatalf("workers=%d: CSV diverged\n--- got ---\n%s--- want ---\n%s", workers, got, want)
+		}
+		var gotJ, wantJ strings.Builder
+		if err := r.WriteJSON(&gotJ); err != nil {
+			t.Fatal(err)
+		}
+		if err := base.WriteJSON(&wantJ); err != nil {
+			t.Fatal(err)
+		}
+		if gotJ.String() != wantJ.String() {
+			t.Fatalf("workers=%d: JSON diverged", workers)
+		}
+		if r.Render() != base.Render() {
+			t.Fatalf("workers=%d: rendered table diverged", workers)
+		}
+	}
+}
+
+func TestRunMeasurementsMatchModel(t *testing.T) {
+	s := &Spec{
+		Algorithms: []string{"cannon"},
+		Machines:   []string{"custom"},
+		Ts:         17, Tw: 3,
+		Ps: []int{16}, Ns: []int{16},
+	}
+	r, err := Run(s, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cells) != 1 || r.Ran != 1 || r.Skipped != 0 {
+		t.Fatalf("unexpected result shape: %+v", r)
+	}
+	c := r.Cells[0]
+	want := model.ExactCannonTp(model.Params{Ts: 17, Tw: 3}, 16, 16)
+	if c.Tp != want {
+		t.Fatalf("Tp = %v, want Eq.(3) = %v", c.Tp, want)
+	}
+	if c.PredictedTp != model.PaperCannonTp(model.Params{Ts: 17, Tw: 3}, 16, 16) {
+		t.Fatalf("PredictedTp = %v", c.PredictedTp)
+	}
+	if c.Efficiency <= 0 || c.Speedup <= 0 {
+		t.Fatalf("derived quantities not populated: %+v", c)
+	}
+}
+
+func TestRunRecordsInapplicableCells(t *testing.T) {
+	// GK needs a perfect-cube p; p=16 is rejected, p=64 runs.
+	s := &Spec{
+		Algorithms: []string{"gk"},
+		Machines:   []string{"custom"},
+		Ts:         17, Tw: 3,
+		Ps: []int{16, 64}, Ns: []int{16},
+	}
+	r, err := Run(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ran != 1 || r.Skipped != 1 {
+		t.Fatalf("ran=%d skipped=%d, want 1/1", r.Ran, r.Skipped)
+	}
+	var rejected *CellResult
+	for i := range r.Cells {
+		if r.Cells[i].Err != "" {
+			rejected = &r.Cells[i]
+		}
+	}
+	if rejected == nil || rejected.P != 16 {
+		t.Fatalf("expected the p=16 cell rejected, got %+v", r.Cells)
+	}
+	if !strings.Contains(r.Render(), "n/a:") {
+		t.Fatal("rendered table does not show the rejection")
+	}
+}
+
+func TestPredictionMemoizationAcrossFaultScenarios(t *testing.T) {
+	s := gridSpec()
+	s.Faults = []string{"", "straggler=3@rank0,seed=7"}
+	r, err := Run(s, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every (alg, machine, p, n) appears once clean and once faulted:
+	// the second occurrence must hit the cache.
+	if want := len(r.Cells) / 2; r.PredCacheHits != want {
+		t.Fatalf("PredCacheHits = %d, want %d", r.PredCacheHits, want)
+	}
+	// The faulted twin predicts the same closed-form Tp but measures a
+	// slower simulated one.
+	byKey := map[string]CellResult{}
+	for _, c := range r.Cells {
+		byKey[c.Key()] = c
+	}
+	for _, c := range r.Cells {
+		if c.Faults == "" || c.Err != "" {
+			continue
+		}
+		clean := byKey[Cell{Algorithm: c.Algorithm, Machine: c.Machine, P: c.P, N: c.N}.Key()]
+		if c.PredictedTp != clean.PredictedTp {
+			t.Fatalf("%s: faulted prediction %v != clean %v", c.Key(), c.PredictedTp, clean.PredictedTp)
+		}
+		if c.Tp <= clean.Tp {
+			t.Fatalf("%s: straggler did not slow the run (%v <= %v)", c.Key(), c.Tp, clean.Tp)
+		}
+	}
+}
+
+func TestProgressReportsEveryCell(t *testing.T) {
+	s := gridSpec()
+	var mu sync.Mutex
+	var dones []int
+	total := 0
+	r, err := Run(s, Options{Workers: 4, Progress: func(done, tot int, c CellResult) {
+		mu.Lock()
+		dones = append(dones, done)
+		total = tot
+		mu.Unlock()
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dones) != len(r.Cells) || total != len(r.Cells) {
+		t.Fatalf("progress calls = %d (total %d), want %d", len(dones), total, len(r.Cells))
+	}
+	seen := map[int]bool{}
+	for _, d := range dones {
+		seen[d] = true
+	}
+	for i := 1; i <= len(r.Cells); i++ {
+		if !seen[i] {
+			t.Fatalf("done count %d never reported", i)
+		}
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	r, err := Run(gridSpec(), Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal([]byte(sb.String()), &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Cells) != len(r.Cells) || back.Ran != r.Ran {
+		t.Fatalf("round trip lost cells: %d/%d", len(back.Cells), back.Ran)
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	r := &Result{Cells: []CellResult{{
+		Cell: Cell{Algorithm: "gk", Machine: "custom", P: 64, N: 16, Faults: "straggler=2@rank0,seed=42"},
+	}}}
+	csv := r.CSV()
+	if !strings.Contains(csv, `"straggler=2@rank0,seed=42"`) {
+		t.Fatalf("comma-bearing field not quoted:\n%s", csv)
+	}
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want header + 1 row, got %d lines", len(lines))
+	}
+}
+
+func TestAlgorithmNamesSorted(t *testing.T) {
+	names := AlgorithmNames()
+	if len(names) < 6 {
+		t.Fatalf("registry too small: %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+}

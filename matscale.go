@@ -148,8 +148,14 @@ var DNSWithGrid = core.DNSWithGrid
 
 // Choose returns the algorithm the paper's Section 6 analysis predicts
 // to be fastest for multiplying n×n matrices on m, along with its
-// name. It is a compatibility wrapper around Select, which additionally
-// reports the model-predicted parallel time.
+// name.
+//
+// Deprecated: use Select, which returns the same choice as a typed
+// Selection that additionally carries the model-predicted parallel
+// time:
+//
+//	s := matscale.Select(m, n)
+//	// s.Algorithm, s.Name, s.PredictedTp
 func Choose(m *Machine, n int) (Algorithm, string) {
 	s := Select(m, n)
 	return s.Algorithm, s.Name
@@ -159,9 +165,12 @@ func Choose(m *Machine, n int) (Algorithm, string) {
 // predicted-fastest applicable algorithm for (m, n) and runs it,
 // falling back along the overhead ordering when the preferred
 // formulation's structural requirements (perfect square/cube processor
-// counts, divisibility) do not hold for this exact configuration. It is
-// a compatibility wrapper around RunAuto, which returns the typed
-// Selection and accepts observability options.
+// counts, divisibility) do not hold for this exact configuration.
+//
+// Deprecated: use RunAuto, which returns the typed Selection instead
+// of a bare name and accepts the observability options:
+//
+//	res, sel, err := matscale.RunAuto(m, a, b, matscale.WithMetrics())
 func AutoMul(m *Machine, a, b *Matrix) (*Result, string, error) {
 	res, sel, err := RunAuto(m, a, b)
 	return res, sel.Name, err
