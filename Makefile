@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-json sweep-determinism lint vet vet-tool fuzz cover verify repro clean
+.PHONY: all build test race bench bench-smoke bench-json bench-gate sweep-determinism lint vet vet-tool fuzz cover verify repro clean
 
 all: build test
 
@@ -25,6 +25,13 @@ bench-smoke:
 bench-json:
 	$(GO) test -bench=. -benchtime=3x -count=2 -run='^$$' ./... | tee bench_pr.txt
 	$(GO) run ./scripts/bench2json -in bench_pr.txt -out BENCH_pr.json
+
+# The CI regression gate: fail on >10% geomean ns/op slowdown in the
+# simulator benchmarks between two bench-json style runs.
+BENCH_OLD ?= bench_main.txt
+BENCH_NEW ?= bench_pr.txt
+bench-gate:
+	$(GO) run ./scripts/benchgate -old $(BENCH_OLD) -new $(BENCH_NEW) -pkg 'internal/simulator' -max 0.10
 
 # The CI determinism check: the same sweep spec must emit byte-identical
 # CSV at 1 and 8 host workers, under the race detector (docs/SWEEP.md).

@@ -207,6 +207,13 @@ func BenchmarkSimCannonN64P16(b *testing.B)   { benchSim(b, core.Cannon, 64, 16)
 func BenchmarkSimFoxN64P16(b *testing.B)      { benchSim(b, core.Fox, 64, 16) }
 func BenchmarkSimBerntsenN64P64(b *testing.B) { benchSim(b, core.Berntsen, 64, 64) }
 func BenchmarkSimGKN64P64(b *testing.B)       { benchSim(b, core.GK, 64, 64) }
+
+// BenchmarkCannonHostTime measures host wall-clock of a full Cannon
+// simulation at p=64: 64 goroutines rolling blocks every step is the
+// heaviest steady-state load on the pooled zero-copy message path and
+// the sharded mailboxes.
+func BenchmarkCannonHostTime(b *testing.B) { benchSim(b, core.Cannon, 128, 64) }
+
 func BenchmarkSimDNSN16P256(b *testing.B) {
 	m := machine.Hypercube(256, 17, 3)
 	a := matrix.Random(16, 16, 1)

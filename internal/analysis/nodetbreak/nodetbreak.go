@@ -28,7 +28,12 @@ math/rand source, or runtime.NumGoroutine, and may not range over a map
 when the loop body emits output, appends to an outer slice, assigns
 outer variables, or accumulates floating-point sums (all of which make
 results depend on map iteration order). Order-insensitive map loops can
-be annotated with a trailing '//nodetbreak:ordered' comment.`
+be annotated with a trailing '//nodetbreak:ordered' comment.
+
+sync.Pool declarations are also flagged: Get returns an arbitrary
+previously-pooled value, so a pool that carries any simulation state
+makes results depend on goroutine scheduling. Pools reviewed to recycle
+payload memory only can be annotated with '//nodetbreak:pooled'.`
 
 // Analyzer is the nodetbreak analyzer.
 var Analyzer = &analysis.Analyzer{
@@ -40,6 +45,11 @@ var Analyzer = &analysis.Analyzer{
 // ordMarker suppresses the map-range check on its line (or the line
 // below it), asserting the loop body is insensitive to iteration order.
 const ordMarker = "//nodetbreak:ordered"
+
+// pooledMarker suppresses the sync.Pool check on its line (or the line
+// below it), asserting the pool recycles payload memory only and
+// carries no simulation state.
+const pooledMarker = "//nodetbreak:pooled"
 
 // randAllowed lists math/rand constructors that take an explicit source
 // or seed; everything else at package level draws from the global,
@@ -60,13 +70,18 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		if config.TestFile(pass.Fset, f.Pos()) {
 			continue
 		}
-		marked := markedLines(pass.Fset, f)
+		marked := markedLines(pass.Fset, f, ordMarker)
+		pooled := markedLines(pass.Fset, f, pooledMarker)
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.CallExpr:
 				checkCall(pass, n)
 			case *ast.RangeStmt:
 				checkMapRange(pass, n, marked)
+			case *ast.Field:
+				checkPoolType(pass, n.Type, pooled)
+			case *ast.ValueSpec:
+				checkPoolType(pass, n.Type, pooled)
 			}
 			return true
 		})
@@ -74,17 +89,45 @@ func run(pass *analysis.Pass) (interface{}, error) {
 	return nil, nil
 }
 
-// markedLines returns the set of lines carrying the ordered marker.
-func markedLines(fset *token.FileSet, f *ast.File) map[int]bool {
+// markedLines returns the set of lines carrying the given marker.
+func markedLines(fset *token.FileSet, f *ast.File, marker string) map[int]bool {
 	lines := map[int]bool{}
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
-			if strings.HasPrefix(c.Text, ordMarker) {
+			if strings.HasPrefix(c.Text, marker) {
 				lines[fset.Position(c.Pos()).Line] = true
 			}
 		}
 	}
 	return lines
+}
+
+// checkPoolType reports struct fields and variables of type sync.Pool
+// (or *sync.Pool) in deterministic packages: what Get returns depends
+// on goroutine scheduling, so only pools reviewed to carry payload
+// memory — never simulation state — are allowed, via pooledMarker.
+func checkPoolType(pass *analysis.Pass, typ ast.Expr, pooled map[int]bool) {
+	if typ == nil || !isSyncPool(pass.TypesInfo.TypeOf(typ)) {
+		return
+	}
+	line := pass.Fset.Position(typ.Pos()).Line
+	if pooled[line] || pooled[line-1] {
+		return
+	}
+	pass.Reportf(typ.Pos(), "sync.Pool in a deterministic package: Get returns a scheduling-dependent value; pool payload memory only and annotate %s after review", pooledMarker)
+}
+
+// isSyncPool reports whether t is sync.Pool or a pointer to it.
+func isSyncPool(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "Pool"
 }
 
 // checkCall reports calls to forbidden wall-clock, scheduler, and

@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -80,4 +81,19 @@ func count(m map[int]int) int { // integer ++ is exact and commutative
 		n++
 	}
 	return n
+}
+
+type pooledRun struct {
+	pool    sync.Pool  // want `sync\.Pool in a deterministic package`
+	scratch *sync.Pool // want `sync\.Pool in a deterministic package`
+	// The reviewed marker suppresses the diagnostic:
+	bufs sync.Pool //nodetbreak:pooled — reviewed: payload recycling only
+	//nodetbreak:pooled — reviewed: marker on the line above also works
+	slabs sync.Pool
+}
+
+var globalPool sync.Pool // want `sync\.Pool in a deterministic package`
+
+func usePools(r *pooledRun) interface{} {
+	return r.bufs.Get()
 }

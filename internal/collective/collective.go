@@ -19,6 +19,14 @@
 //
 // Concurrent collectives on overlapping groups must use distinct tags;
 // messages are matched by (source, tag).
+//
+// The operations follow the simulator's buffer ownership contract:
+// caller-supplied payloads are only ever sent with copy semantics (a
+// caller keeps its slice), received buffers that an operation consumes
+// internally are recycled into the processor's buffer pool, and
+// buffers an operation returns are owned by its caller. Transient
+// tree/ring buffers created inside an operation travel on the
+// ownership-transfer fast path where the data flow allows it.
 package collective
 
 import (
@@ -183,6 +191,7 @@ func ReduceCharged(pr *simulator.Proc, group []int, rootIdx, tag int, data []flo
 		for k, v := range got {
 			acc[k] += v
 		}
+		pr.Recycle(got)
 	}
 	return acc
 }
@@ -203,8 +212,12 @@ func AllGather(pr *simulator.Proc, group []int, tag int, mine []float64) []float
 		// Segments owned so far: those sharing the index bits above s.
 		lo := (idx >> s) << s
 		plo := (partner >> s) << s
+		// The outgoing segment is a live sub-slice of buf, so the
+		// exchange must keep copy semantics; the received segment is
+		// consumed here and recycled.
 		got := pr.ExchangeNeighbor(group[partner], tag+s, buf[lo*m:(lo+1<<s)*m])
 		copy(buf[plo*m:(plo+1<<s)*m], got)
+		pr.Recycle(got)
 	}
 	return buf
 }
@@ -265,7 +278,9 @@ func AllGatherAllPort(pr *simulator.Proc, group []int, tag int, mine []float64) 
 		if i == idx {
 			continue
 		}
-		copy(buf[i*m:(i+1)*m], pr.Recv(r, tag))
+		got := pr.Recv(r, tag)
+		copy(buf[i*m:(i+1)*m], got)
+		pr.Recycle(got)
 	}
 	return buf
 }
@@ -292,7 +307,9 @@ func Reduce(pr *simulator.Proc, group []int, rootIdx, tag int, data []float64) [
 		mask := (1 << (s + 1)) - 1
 		switch rel & mask {
 		case 1 << s:
-			pr.SendNeighbor(group[(rel^1<<s)^rootIdx], tag, acc)
+			// acc is this member's private accumulator and dies here,
+			// so it rides the ownership-transfer fast path.
+			pr.SendNeighborOwned(group[(rel^1<<s)^rootIdx], tag, acc)
 			return nil
 		case 0:
 			got := pr.Recv(group[(rel|1<<s)^rootIdx], tag)
@@ -302,6 +319,7 @@ func Reduce(pr *simulator.Proc, group []int, rootIdx, tag int, data []float64) [
 			for i, v := range got {
 				acc[i] += v
 			}
+			pr.Recycle(got)
 		}
 	}
 	return acc
@@ -336,10 +354,13 @@ func ReduceScatter(pr *simulator.Proc, group []int, tag int, data []float64) ([]
 		} else {
 			keepLo, keepHi, sendLo, sendHi = mid, hi, lo, mid
 		}
+		// acc[sendLo:sendHi] is a live sub-slice of the accumulator, so
+		// the exchange must keep copy semantics.
 		got := pr.ExchangeNeighbor(group[partner], tag+s, acc[sendLo:sendHi])
 		for i, v := range got {
 			acc[keepLo+i] += v
 		}
+		pr.Recycle(got)
 		lo, hi = keepLo, keepHi
 	}
 	out := make([]float64, hi-lo)
@@ -400,7 +421,9 @@ func AllGatherFree(pr *simulator.Proc, group []int, tag int, mine []float64) []f
 		if i == idx {
 			continue
 		}
-		copy(buf[i*m:(i+1)*m], pr.Recv(r, tag))
+		got := pr.Recv(r, tag)
+		copy(buf[i*m:(i+1)*m], got)
+		pr.Recycle(got)
 	}
 	return buf
 }

@@ -64,6 +64,7 @@ func Scatter(pr *simulator.Proc, group []int, rootIdx, tag int, data []float64) 
 	}
 	out := make([]float64, len(buf))
 	copy(out, buf)
+	pr.Recycle(buf)
 	return out
 }
 
@@ -96,11 +97,14 @@ func Gather(pr *simulator.Proc, group []int, rootIdx, tag int, mine []float64) [
 		mask := (1 << (s + 1)) - 1
 		switch rel & mask {
 		case 1 << s:
-			pr.SendNeighbor(group[(rel^1<<s)^rootIdx], tag, buf)
+			// buf is this member's private accumulator and dies here,
+			// so it rides the ownership-transfer fast path.
+			pr.SendNeighborOwned(group[(rel^1<<s)^rootIdx], tag, buf)
 			return nil
 		case 0:
 			got := pr.Recv(group[(rel|1<<s)^rootIdx], tag)
 			buf = append(buf, got...)
+			pr.Recycle(got)
 		}
 	}
 	// Root: undo the rel-space ordering back to group-index order.
@@ -109,6 +113,7 @@ func Gather(pr *simulator.Proc, group []int, rootIdx, tag int, mine []float64) [
 		src := r ^ rootIdx
 		copy(out[src*m:(src+1)*m], buf[r*m:(r+1)*m])
 	}
+	pr.Recycle(buf)
 	return out
 }
 
@@ -140,6 +145,9 @@ func AllToAll(pr *simulator.Proc, group []int, tag int, data []float64) []float6
 		hold[j] = packet{src: idx, dst: j}
 		payload[hold[j]] = data[j*m : (j+1)*m]
 	}
+	// Received bodies are dismantled into payload sub-slices; the parent
+	// buffers are recycled together once everything is copied out.
+	var recvd [][]float64
 
 	for s := d - 1; s >= 0; s-- {
 		partner := idx ^ (1 << s)
@@ -159,8 +167,10 @@ func AllToAll(pr *simulator.Proc, group []int, tag int, data []float64) []float6
 			body = append(body, payload[pk]...)
 			delete(payload, pk)
 		}
-		pr.SendFree(group[partner], tag+2*s, hdr)
-		pr.SendNeighbor(group[partner], tag+2*s+1, body)
+		// hdr and body are freshly assembled and die after the send, so
+		// both ride the ownership-transfer fast path.
+		pr.SendFreeOwned(group[partner], tag+2*s, hdr)
+		pr.SendNeighborOwned(group[partner], tag+2*s+1, body)
 		inHdr := pr.Recv(group[partner], tag+2*s)
 		inBody := pr.Recv(group[partner], tag+2*s+1)
 		hold = keep
@@ -169,6 +179,8 @@ func AllToAll(pr *simulator.Proc, group []int, tag int, data []float64) []float6
 			hold = append(hold, pk)
 			payload[pk] = inBody[i/2*m : (i/2+1)*m]
 		}
+		pr.Recycle(inHdr)
+		recvd = append(recvd, inBody)
 	}
 
 	out := make([]float64, g*m)
@@ -180,6 +192,9 @@ func AllToAll(pr *simulator.Proc, group []int, tag int, data []float64) []float6
 			panic(fmt.Sprintf("collective: AllToAll routing error: packet for %d at %d", pk.dst, idx))
 		}
 		copy(out[pk.src*m:(pk.src+1)*m], body)
+	}
+	for _, b := range recvd {
+		pr.Recycle(b)
 	}
 	return out
 }
@@ -233,10 +248,15 @@ func BroadcastPipelinedChain(pr *simulator.Proc, chain []int, tag int, data []fl
 	var buf []float64
 	for k := 0; k < packets; k++ {
 		pkt := pr.Recv(chain[idx-1], tag+k)
-		if idx+1 < len(chain) {
-			pr.SendNeighbor(chain[idx+1], tag+k, pkt)
-		}
 		buf = append(buf, pkt...)
+		if idx+1 < len(chain) {
+			// The local copy into buf is done, so the packet buffer is
+			// forwarded downstream without another copy. Appending first
+			// charges no virtual time: only the send advances the clock.
+			pr.SendNeighborOwned(chain[idx+1], tag+k, pkt)
+		} else {
+			pr.Recycle(pkt)
+		}
 	}
 	return buf
 }

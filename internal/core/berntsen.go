@@ -83,10 +83,11 @@ func Berntsen(m *machine.Machine, a, b *matrix.Dense) (*Result, error) {
 			group[c] = c*s*s + meshRank
 		}
 		slice, off := collective.ReduceScatter(pr, group, tagBernReduce, blockData(partial))
+		releaseBlock(pr, partial) // ReduceScatter copied it; the block is dead
 
 		// Verification gather: rank 0 reassembles C from the p slices.
 		if pr.Rank() != 0 {
-			pr.SendFree(0, tagGatherC, slice)
+			pr.SendFreeOwned(0, tagGatherC, slice)
 			return
 		}
 		cFull := matrix.New(n, n)
@@ -104,6 +105,9 @@ func Berntsen(m *machine.Machine, a, b *matrix.Dense) (*Result, error) {
 			r0 := bi*bh + o/bh
 			blk := blockFrom(sl, rowsPerSlice, bh)
 			cFull.SetBlock(r0, bj*bh, blk)
+			if r != 0 {
+				releaseBlock(pr, blk)
+			}
 		}
 		product = cFull
 	})

@@ -22,6 +22,12 @@ type cannonTags struct {
 // The alignment moves at zero virtual cost (ignored by the paper on a
 // cut-through hypercube); each of the 2s rolls is a nearest-neighbor
 // transfer paid once. The returned product block is h×h.
+//
+// cannonRoll takes ownership of myA's and myB's backing buffers: the
+// skew gives them away on the zero-copy send path and every roll hands
+// the blocks along the ring the same way, so the whole phase moves no
+// payload bytes on the host. Callers must not use myA or myB after the
+// call.
 func cannonRoll(pr *simulator.Proc, mesh topology.Torus2D, rankOf func(int) int, i, j int, myA, myB *matrix.Dense, tags cannonTags) *matrix.Dense {
 	s := mesh.R
 	me := mesh.RankAt(i, j)
@@ -29,8 +35,8 @@ func cannonRoll(pr *simulator.Proc, mesh topology.Torus2D, rankOf func(int) int,
 	bRows, bCols := myB.Rows, myB.Cols
 
 	// Skew: A_ij to (i, j−i), B_ij to (i−j, j).
-	pr.SendFree(rankOf(mesh.RankAt(i, j-i)), tags.alignA, blockData(myA))
-	pr.SendFree(rankOf(mesh.RankAt(i-j, j)), tags.alignB, blockData(myB))
+	pr.SendFreeOwned(rankOf(mesh.RankAt(i, j-i)), tags.alignA, blockData(myA))
+	pr.SendFreeOwned(rankOf(mesh.RankAt(i-j, j)), tags.alignB, blockData(myB))
 	aBuf := pr.Recv(rankOf(mesh.RankAt(i, j+i)), tags.alignA)
 	bBuf := pr.Recv(rankOf(mesh.RankAt(i+j, j)), tags.alignB)
 
@@ -38,10 +44,12 @@ func cannonRoll(pr *simulator.Proc, mesh topology.Torus2D, rankOf func(int) int,
 	for step := 0; step < s; step++ {
 		matrix.MulAddInto(c, blockFrom(aBuf, aRows, aCols), blockFrom(bBuf, bRows, bCols))
 		pr.Compute(float64(aRows) * float64(aCols) * float64(bCols))
-		pr.SendNeighbor(rankOf(mesh.Left(me)), tags.shiftA, aBuf)
+		pr.SendNeighborOwned(rankOf(mesh.Left(me)), tags.shiftA, aBuf)
 		aBuf = pr.Recv(rankOf(mesh.Right(me)), tags.shiftA)
-		pr.SendNeighbor(rankOf(mesh.Up(me)), tags.shiftB, bBuf)
+		pr.SendNeighborOwned(rankOf(mesh.Up(me)), tags.shiftB, bBuf)
 		bBuf = pr.Recv(rankOf(mesh.Down(me)), tags.shiftB)
 	}
+	pr.Recycle(aBuf)
+	pr.Recycle(bBuf)
 	return c
 }

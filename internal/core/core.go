@@ -166,6 +166,21 @@ func blockFrom(data []float64, rows, cols int) *matrix.Dense {
 	return &matrix.Dense{Rows: rows, Cols: cols, Data: data}
 }
 
+// recvBlock receives the next (src, tag) payload and views it as a
+// rows×cols block without copying. The block's backing buffer is owned
+// by the caller; hand it to releaseBlock when the block is dead to keep
+// the message path allocation-free.
+func recvBlock(pr *simulator.Proc, src, tag, rows, cols int) *matrix.Dense {
+	return blockFrom(pr.Recv(src, tag), rows, cols)
+}
+
+// releaseBlock recycles the backing buffer of a block produced by
+// recvBlock (or any block whose buffer the caller owns exclusively).
+// The block must not be used afterwards.
+func releaseBlock(pr *simulator.Proc, blk *matrix.Dense) {
+	pr.Recycle(blk.Data)
+}
+
 // allRanks returns [0, p).
 func allRanks(p int) []int {
 	out := make([]int, p)
@@ -177,12 +192,14 @@ func allRanks(p int) []int {
 
 // gatherGrid collects one block per processor at rank 0 (zero cost,
 // verification only) and assembles the n×n product. ranks is indexed
-// [i*gc+j] giving the rank holding block (i, j).
+// [i*gc+j] giving the rank holding block (i, j). gatherGrid consumes
+// mine: senders give the block away on the zero-copy path and the root
+// recycles received payloads, so callers must not use mine afterwards.
 func gatherGrid(pr *simulator.Proc, ranks []int, gr, gc int, tag int, mine *matrix.Dense, out **matrix.Dense) {
 	if pr.Rank() != ranks[0] {
 		for _, r := range ranks {
 			if r == pr.Rank() {
-				pr.SendFree(ranks[0], tag, blockData(mine))
+				pr.SendFreeOwned(ranks[0], tag, blockData(mine))
 				return
 			}
 		}
@@ -193,13 +210,13 @@ func gatherGrid(pr *simulator.Proc, ranks []int, gr, gc int, tag int, mine *matr
 	for i := 0; i < gr; i++ {
 		for j := 0; j < gc; j++ {
 			r := ranks[i*gc+j]
-			var blk *matrix.Dense
 			if r == pr.Rank() {
-				blk = mine
-			} else {
-				blk = blockFrom(pr.Recv(r, tag), h, w)
+				c.SetBlock(i*h, j*w, mine)
+				continue
 			}
+			blk := recvBlock(pr, r, tag, h, w)
 			c.SetBlock(i*h, j*w, blk)
+			releaseBlock(pr, blk)
 		}
 	}
 	*out = c

@@ -103,10 +103,12 @@ func DNSWithGrid(m *machine.Machine, a, b *matrix.Dense, gridSide int) (*Result,
 			barrier++
 		}
 
-		// Stage 1a: route A towards layer = supK.
+		// Stage 1a: route A towards layer = supK. Each grid block is
+		// read by exactly one layer-0 rank, so it is given away on the
+		// zero-copy send path.
 		var aBuf []float64
 		if layer == 0 {
-			pr.Send(rankOf(supK, jg, kg), tagDNSRouteA, blockData(ga.Block(jg, kg)))
+			pr.SendOwned(rankOf(supK, jg, kg), tagDNSRouteA, blockData(ga.Block(jg, kg)))
 		}
 		if layer == supK {
 			aBuf = pr.Recv(rankOf(0, jg, kg), tagDNSRouteA)
@@ -122,10 +124,10 @@ func DNSWithGrid(m *machine.Machine, a, b *matrix.Dense, gridSide int) (*Result,
 		aBuf = collective.Broadcast(pr, groupA, layer, tagDNSBcastA, aBuf)
 		sync()
 
-		// Stage 1c: route B towards layer = supJ.
+		// Stage 1c: route B towards layer = supJ (zero-copy, as for A).
 		var bBuf []float64
 		if layer == 0 {
-			pr.Send(rankOf(supJ, jg, kg), tagDNSRouteB, blockData(gb.Block(jg, kg)))
+			pr.SendOwned(rankOf(supJ, jg, kg), tagDNSRouteB, blockData(gb.Block(jg, kg)))
 		}
 		if layer == supJ {
 			bBuf = pr.Recv(rankOf(0, jg, kg), tagDNSRouteB)
@@ -157,6 +159,7 @@ func DNSWithGrid(m *machine.Machine, a, b *matrix.Dense, gridSide int) (*Result,
 			groupR[l] = rankOf(l, jg, kg)
 		}
 		sum := collective.Reduce(pr, groupR, 0, tagDNSReduce, blockData(c))
+		releaseBlock(pr, c) // Reduce copied it; the partial product is dead
 
 		// Verification gather from layer 0.
 		holders := make([]int, gridSide*gridSide)

@@ -89,9 +89,13 @@ func foxImpl(m *machine.Machine, a, b *matrix.Dense, pipelined bool) (*Result, e
 			}
 			matrix.MulAddInto(c, blockFrom(ablk, bs, bs), blockFrom(myB, bs, bs))
 			pr.Compute(float64(bs) * float64(bs) * float64(bs))
+			if j != rootCol {
+				pr.Recycle(ablk) // received broadcast copy, consumed above
+			}
 
-			// Roll B one step north.
-			pr.SendNeighbor(mesh.Up(pr.Rank()), tagFoxShift, myB)
+			// Roll B one step north; the outgoing block dies here, so it
+			// rides the ownership-transfer fast path.
+			pr.SendNeighborOwned(mesh.Up(pr.Rank()), tagFoxShift, myB)
 			myB = pr.Recv(mesh.Down(pr.Rank()), tagFoxShift)
 
 			// The paper's accounting treats iterations as lockstep.

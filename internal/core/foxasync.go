@@ -53,7 +53,8 @@ func FoxAsync(m *machine.Machine, a, b *matrix.Dense) (*Result, error) {
 			ablk := myA
 			if q > 1 {
 				// Forward first, multiply second: the relay races ahead
-				// of the computation wave.
+				// of the computation wave. The forward must keep copy
+				// semantics — ablk is still consumed below.
 				if j != rootCol {
 					ablk = pr.Recv(mesh.RankAt(i, j-1), tagFoxAsyncRelay+t)
 				}
@@ -63,9 +64,13 @@ func FoxAsync(m *machine.Machine, a, b *matrix.Dense) (*Result, error) {
 			}
 			matrix.MulAddInto(c, blockFrom(ablk, bs, bs), blockFrom(myB, bs, bs))
 			pr.Compute(float64(bs) * float64(bs) * float64(bs))
+			if q > 1 && j != rootCol {
+				pr.Recycle(ablk) // received relay copy, consumed above
+			}
 
 			if q > 1 {
-				pr.SendNeighbor(mesh.Up(pr.Rank()), tagFoxAsyncShift, myB)
+				// The outgoing B block dies here: zero-copy shift.
+				pr.SendNeighborOwned(mesh.Up(pr.Rank()), tagFoxAsyncShift, myB)
 				myB = pr.Recv(mesh.Down(pr.Rank()), tagFoxAsyncShift)
 			}
 			// No barrier: iterations overlap across processors.

@@ -61,14 +61,19 @@ func FoxMesh(m *machine.Machine, a, b *matrix.Dense) (*Result, error) {
 					ablk = pr.Recv(mesh.RankAt(i, j-1), tagFoxMeshRelay+t)
 				}
 				if (j+1)%q != rootCol {
+					// Copy semantics: ablk is still consumed below.
 					pr.SendNeighbor(mesh.RankAt(i, j+1), tagFoxMeshRelay+t, ablk)
 				}
 			}
 			matrix.MulAddInto(c, blockFrom(ablk, bs, bs), blockFrom(myB, bs, bs))
 			pr.Compute(float64(bs) * float64(bs) * float64(bs))
+			if q > 1 && j != rootCol {
+				pr.Recycle(ablk) // received relay copy, consumed above
+			}
 
 			if q > 1 {
-				pr.SendNeighbor(mesh.Up(pr.Rank()), tagFoxMeshShift, myB)
+				// The outgoing B block dies here: zero-copy shift.
+				pr.SendNeighborOwned(mesh.Up(pr.Rank()), tagFoxMeshShift, myB)
 				myB = pr.Recv(mesh.Down(pr.Rank()), tagFoxMeshShift)
 			}
 			collective.BarrierFree(pr, everyone, tagFoxMeshBarrier)
@@ -130,8 +135,12 @@ func FoxPacketPipelined(m *machine.Machine, a, b *matrix.Dense) (*Result, error)
 			}
 			matrix.MulAddInto(c, blockFrom(ablk, bs, bs), blockFrom(myB, bs, bs))
 			pr.Compute(float64(bs) * float64(bs) * float64(bs))
+			if q > 1 && j != rootCol {
+				pr.Recycle(ablk) // chain-assembled copy, consumed above
+			}
 			if q > 1 {
-				pr.SendNeighbor(mesh.Up(pr.Rank()), tagFoxPktShift, myB)
+				// The outgoing B block dies here: zero-copy shift.
+				pr.SendNeighborOwned(mesh.Up(pr.Rank()), tagFoxPktShift, myB)
 				myB = pr.Recv(mesh.Down(pr.Rank()), tagFoxPktShift)
 			}
 			collective.BarrierFree(pr, everyone, tagFoxPktBarrier+t)

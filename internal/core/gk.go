@@ -143,7 +143,9 @@ func gkBody(m *machine.Machine, a, b *matrix.Dense, variant gkVariant) (func(*si
 	route := func(pr *simulator.Proc, dst, tag int, data []float64) {
 		switch variant {
 		case gkNaive:
-			pr.Send(dst, tag, data)
+			// Each grid block is routed by exactly one face rank, so it
+			// is given away on the zero-copy send path.
+			pr.SendOwned(dst, tag, data)
 		default:
 			if dst == pr.Rank() {
 				pr.SendFree(dst, tag, data)
@@ -194,6 +196,8 @@ func gkBody(m *machine.Machine, a, b *matrix.Dense, variant gkVariant) (func(*si
 		// (i,j,k) holds A(j,i) and B(i,k).
 		c := matrix.Mul(blockFrom(aBuf, bs, bs), blockFrom(bBuf, bs, bs))
 		pr.Compute(float64(bs) * float64(bs) * float64(bs))
+		pr.Recycle(aBuf)
+		pr.Recycle(bBuf)
 		sync()
 
 		// Stage 3: sum the q₃ partials along the first axis into i=0.
@@ -204,6 +208,7 @@ func gkBody(m *machine.Machine, a, b *matrix.Dense, variant gkVariant) (func(*si
 		default:
 			sum = collective.ReduceCharged(pr, grid.AxisLine(0, j, k), 0, tagGKReduce, blockData(c), stageCost)
 		}
+		releaseBlock(pr, c) // the reduction copied it; the partial is dead
 
 		// Verification gather from the i=0 face.
 		holders := make([]int, q3*q3)

@@ -79,6 +79,15 @@ func SimpleMemEfficientAllPort(m *machine.Machine, a, b *matrix.Dense) (*Result,
 			bblk := collective.BroadcastCharged(pr, col, k, tagMemEffBcastB+k, bPayload, 0)
 			matrix.MulAddInto(c, blockFrom(ablk, bs, bs), blockFrom(bblk, bs, bs))
 			pr.Compute(float64(bs) * float64(bs) * float64(bs))
+			// Streaming is the point of this variant: received blocks are
+			// discarded — recycled — as soon as they are consumed (roots
+			// keep their resident blocks).
+			if j != k {
+				pr.Recycle(ablk)
+			}
+			if i != k {
+				pr.Recycle(bblk)
+			}
 			collective.BarrierFree(pr, everyone, tagMemEffBarrier+k)
 		}
 

@@ -77,6 +77,8 @@ func simpleImpl(m *machine.Machine, a, b *matrix.Dense, allPort bool) (*Result, 
 			matrix.MulAddInto(c, ak, bk)
 			pr.Compute(float64(bs) * float64(bs) * float64(bs))
 		}
+		pr.Recycle(rowA)
+		pr.Recycle(colB)
 
 		gatherGrid(pr, allRanks(p), q, q, tagGatherC, c, &product)
 	})

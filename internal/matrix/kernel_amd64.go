@@ -1,0 +1,40 @@
+//go:build amd64 && !purego
+
+package matrix
+
+// The amd64 micro-kernels vectorize across output columns only: each
+// output element still receives its four contributions in ascending
+// depth order with a separate multiply and a separate add per step
+// (MULPD/ADDPD, never FMA), which is exactly the rounding sequence of
+// the scalar kernel on amd64. CPU dispatch therefore cannot change a
+// single result bit — it only changes how many columns advance per
+// instruction.
+
+// useAVX2 selects the 4-wide AVX2 span kernel when the CPU and OS
+// support it; otherwise the baseline 2-wide SSE2 kernel runs (SSE2 is
+// architecturally guaranteed on amd64).
+var useAVX2 = cpuHasAVX2()
+
+// cpuHasAVX2 reports AVX2 availability, including OS XMM/YMM state
+// support (OSXSAVE + XCR0). Implemented in kernel_amd64.s.
+func cpuHasAVX2() bool
+
+// mulSpan4SSE2 is the 2-wide baseline span kernel. Implemented in
+// kernel_amd64.s. Slices must all share the same length.
+//
+//go:noescape
+func mulSpan4SSE2(cs, b0, b1, b2, b3 []float64, av0, av1, av2, av3 float64)
+
+// mulSpan4AVX2 is the 4-wide span kernel. Implemented in
+// kernel_amd64.s. Slices must all share the same length.
+//
+//go:noescape
+func mulSpan4AVX2(cs, b0, b1, b2, b3 []float64, av0, av1, av2, av3 float64)
+
+func mulSpan4(cs, b0, b1, b2, b3 []float64, av0, av1, av2, av3 float64) {
+	if useAVX2 {
+		mulSpan4AVX2(cs, b0, b1, b2, b3, av0, av1, av2, av3)
+		return
+	}
+	mulSpan4SSE2(cs, b0, b1, b2, b3, av0, av1, av2, av3)
+}

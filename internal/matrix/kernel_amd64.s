@@ -1,0 +1,239 @@
+//go:build amd64 && !purego
+
+#include "textflag.h"
+
+// func cpuHasAVX2() bool
+//
+// AVX2 requires: CPUID max leaf >= 7, CPUID.1:ECX OSXSAVE(27)+AVX(28),
+// XCR0 XMM(1)+YMM(2) enabled by the OS, and CPUID.(7,0):EBX AVX2(5).
+TEXT ·cpuHasAVX2(SB), NOSPLIT, $0-1
+	MOVB $0, ret+0(FP)
+
+	// max basic leaf must reach 7
+	MOVL $0, AX
+	MOVL $0, CX
+	CPUID
+	CMPL AX, $7
+	JL   done
+
+	// OSXSAVE and AVX in CPUID.1:ECX
+	MOVL $1, AX
+	MOVL $0, CX
+	CPUID
+	MOVL CX, DX
+	ANDL $(1<<27 | 1<<28), DX
+	CMPL DX, $(1<<27 | 1<<28)
+	JNE  done
+
+	// OS must enable XMM and YMM state in XCR0
+	MOVL   $0, CX
+	XGETBV
+	ANDL   $6, AX
+	CMPL   AX, $6
+	JNE    done
+
+	// AVX2 in CPUID.(7,0):EBX
+	MOVL $7, AX
+	MOVL $0, CX
+	CPUID
+	ANDL $(1<<5), BX
+	JZ   done
+	MOVB $1, ret+0(FP)
+
+done:
+	RET
+
+// func mulSpan4SSE2(cs, b0, b1, b2, b3 []float64, av0, av1, av2, av3 float64)
+//
+// cs[j] += av0*b0[j]; cs[j] += av1*b1[j]; cs[j] += av2*b2[j];
+// cs[j] += av3*b3[j] — separate MULPD and ADDPD per step (two
+// roundings, ascending depth order), two columns per vector.
+TEXT ·mulSpan4SSE2(SB), NOSPLIT, $0-152
+	MOVQ cs_base+0(FP), DI
+	MOVQ cs_len+8(FP), CX
+	MOVQ b0_base+24(FP), SI
+	MOVQ b1_base+48(FP), R8
+	MOVQ b2_base+72(FP), R9
+	MOVQ b3_base+96(FP), R10
+
+	// broadcast the four multipliers into both lanes
+	MOVSD    av0+120(FP), X0
+	UNPCKLPD X0, X0
+	MOVSD    av1+128(FP), X1
+	UNPCKLPD X1, X1
+	MOVSD    av2+136(FP), X2
+	UNPCKLPD X2, X2
+	MOVSD    av3+144(FP), X3
+	UNPCKLPD X3, X3
+
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-4, DX
+
+sse_loop4:
+	CMPQ   AX, DX
+	JGE    sse_tail2
+	MOVUPD (DI)(AX*8), X4
+	MOVUPD 16(DI)(AX*8), X5
+	MOVUPD (SI)(AX*8), X6
+	MULPD  X0, X6
+	ADDPD  X6, X4
+	MOVUPD 16(SI)(AX*8), X7
+	MULPD  X0, X7
+	ADDPD  X7, X5
+	MOVUPD (R8)(AX*8), X6
+	MULPD  X1, X6
+	ADDPD  X6, X4
+	MOVUPD 16(R8)(AX*8), X7
+	MULPD  X1, X7
+	ADDPD  X7, X5
+	MOVUPD (R9)(AX*8), X6
+	MULPD  X2, X6
+	ADDPD  X6, X4
+	MOVUPD 16(R9)(AX*8), X7
+	MULPD  X2, X7
+	ADDPD  X7, X5
+	MOVUPD (R10)(AX*8), X6
+	MULPD  X3, X6
+	ADDPD  X6, X4
+	MOVUPD 16(R10)(AX*8), X7
+	MULPD  X3, X7
+	ADDPD  X7, X5
+	MOVUPD X4, (DI)(AX*8)
+	MOVUPD X5, 16(DI)(AX*8)
+	ADDQ   $4, AX
+	JMP    sse_loop4
+
+sse_tail2:
+	MOVQ   CX, DX
+	ANDQ   $-2, DX
+	CMPQ   AX, DX
+	JGE    sse_tail1
+	MOVUPD (DI)(AX*8), X4
+	MOVUPD (SI)(AX*8), X6
+	MULPD  X0, X6
+	ADDPD  X6, X4
+	MOVUPD (R8)(AX*8), X6
+	MULPD  X1, X6
+	ADDPD  X6, X4
+	MOVUPD (R9)(AX*8), X6
+	MULPD  X2, X6
+	ADDPD  X6, X4
+	MOVUPD (R10)(AX*8), X6
+	MULPD  X3, X6
+	ADDPD  X6, X4
+	MOVUPD X4, (DI)(AX*8)
+	ADDQ   $2, AX
+
+sse_tail1:
+	CMPQ  AX, CX
+	JGE   sse_done
+	MOVSD (DI)(AX*8), X4
+	MOVSD (SI)(AX*8), X6
+	MULSD X0, X6
+	ADDSD X6, X4
+	MOVSD (R8)(AX*8), X6
+	MULSD X1, X6
+	ADDSD X6, X4
+	MOVSD (R9)(AX*8), X6
+	MULSD X2, X6
+	ADDSD X6, X4
+	MOVSD (R10)(AX*8), X6
+	MULSD X3, X6
+	ADDSD X6, X4
+	MOVSD X4, (DI)(AX*8)
+	ADDQ  $1, AX
+	JMP   sse_tail1
+
+sse_done:
+	RET
+
+// func mulSpan4AVX2(cs, b0, b1, b2, b3 []float64, av0, av1, av2, av3 float64)
+//
+// Same operation sequence as mulSpan4SSE2 (separate VMULPD and VADDPD
+// per step, never FMA), four columns per vector, eight per iteration.
+TEXT ·mulSpan4AVX2(SB), NOSPLIT, $0-152
+	MOVQ cs_base+0(FP), DI
+	MOVQ cs_len+8(FP), CX
+	MOVQ b0_base+24(FP), SI
+	MOVQ b1_base+48(FP), R8
+	MOVQ b2_base+72(FP), R9
+	MOVQ b3_base+96(FP), R10
+
+	VBROADCASTSD av0+120(FP), Y0
+	VBROADCASTSD av1+128(FP), Y1
+	VBROADCASTSD av2+136(FP), Y2
+	VBROADCASTSD av3+144(FP), Y3
+
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-8, DX
+
+avx_loop8:
+	CMPQ    AX, DX
+	JGE     avx_tail4
+	VMOVUPD (DI)(AX*8), Y4
+	VMOVUPD 32(DI)(AX*8), Y5
+	VMULPD  (SI)(AX*8), Y0, Y6
+	VADDPD  Y6, Y4, Y4
+	VMULPD  32(SI)(AX*8), Y0, Y7
+	VADDPD  Y7, Y5, Y5
+	VMULPD  (R8)(AX*8), Y1, Y6
+	VADDPD  Y6, Y4, Y4
+	VMULPD  32(R8)(AX*8), Y1, Y7
+	VADDPD  Y7, Y5, Y5
+	VMULPD  (R9)(AX*8), Y2, Y6
+	VADDPD  Y6, Y4, Y4
+	VMULPD  32(R9)(AX*8), Y2, Y7
+	VADDPD  Y7, Y5, Y5
+	VMULPD  (R10)(AX*8), Y3, Y6
+	VADDPD  Y6, Y4, Y4
+	VMULPD  32(R10)(AX*8), Y3, Y7
+	VADDPD  Y7, Y5, Y5
+	VMOVUPD Y4, (DI)(AX*8)
+	VMOVUPD Y5, 32(DI)(AX*8)
+	ADDQ    $8, AX
+	JMP     avx_loop8
+
+avx_tail4:
+	MOVQ    CX, DX
+	ANDQ    $-4, DX
+	CMPQ    AX, DX
+	JGE     avx_scalar
+	VMOVUPD (DI)(AX*8), Y4
+	VMULPD  (SI)(AX*8), Y0, Y6
+	VADDPD  Y6, Y4, Y4
+	VMULPD  (R8)(AX*8), Y1, Y6
+	VADDPD  Y6, Y4, Y4
+	VMULPD  (R9)(AX*8), Y2, Y6
+	VADDPD  Y6, Y4, Y4
+	VMULPD  (R10)(AX*8), Y3, Y6
+	VADDPD  Y6, Y4, Y4
+	VMOVUPD Y4, (DI)(AX*8)
+	ADDQ    $4, AX
+
+avx_scalar:
+	VZEROUPPER
+
+avx_tail1:
+	CMPQ  AX, CX
+	JGE   avx_done
+	MOVSD (DI)(AX*8), X4
+	MOVSD (SI)(AX*8), X6
+	MULSD X0, X6
+	ADDSD X6, X4
+	MOVSD (R8)(AX*8), X6
+	MULSD X1, X6
+	ADDSD X6, X4
+	MOVSD (R9)(AX*8), X6
+	MULSD X2, X6
+	ADDSD X6, X4
+	MOVSD (R10)(AX*8), X6
+	MULSD X3, X6
+	ADDSD X6, X4
+	MOVSD X4, (DI)(AX*8)
+	ADDQ  $1, AX
+	JMP   avx_tail1
+
+avx_done:
+	RET

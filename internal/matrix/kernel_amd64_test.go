@@ -1,0 +1,22 @@
+//go:build amd64 && !purego
+
+package matrix
+
+import "testing"
+
+// TestMulAddIntoBitIdenticalSSE2 forces the baseline SSE2 span kernel
+// and re-runs the differential grid, so both amd64 dispatch targets are
+// proven bit-identical to the naive kernel regardless of which one the
+// benchmark host selects.
+func TestMulAddIntoBitIdenticalSSE2(t *testing.T) {
+	if !useAVX2 {
+		t.Skip("host already runs the SSE2 path; covered by the main differential tests")
+	}
+	useAVX2 = false
+	defer func() { useAVX2 = true }()
+	for _, n := range kernelSizes {
+		a := Random(n, n, uint64(n)*2+1)
+		b := Random(n, n, uint64(n)*2+2)
+		mulBitIdentical(t, a, b)
+	}
+}

@@ -20,11 +20,12 @@ const DefaultTile = 64
 
 // Mul computes a·b with the given number of worker goroutines
 // (workers ≤ 0 uses GOMAXPROCS) and cache tile (tile ≤ 0 uses
-// DefaultTile). It returns an error when the inner dimensions do not
-// match, in the error style of the rest of the public API. The result
-// is identical to matrix.Mul up to floating-point associativity within
-// each row, and bit-identical for inputs whose products are exact
-// (e.g. small integers).
+// DefaultTile; retained for API compatibility — the shared kernel
+// chooses its own panel sizes). It returns an error when the inner
+// dimensions do not match, in the error style of the rest of the
+// public API. Each row band delegates to matrix.MulAddInto, whose
+// per-element accumulation order matches the serial kernel exactly, so
+// the result is bit-identical to matrix.Mul at any worker count.
 func Mul(a, b *matrix.Dense, workers, tile int) (*matrix.Dense, error) {
 	if a.Cols != b.Rows {
 		return nil, fmt.Errorf("shm: inner dimension mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
@@ -55,34 +56,25 @@ func Mul(a, b *matrix.Dense, workers, tile int) (*matrix.Dense, error) {
 	for w := 0; w < workers; w++ {
 		go func(r0, r1 int) {
 			defer wg.Done()
-			mulRows(c, a, b, r0, r1, tile)
+			mulRows(c, a, b, r0, r1)
 		}(bounds[w], bounds[w+1])
 	}
 	wg.Wait()
 	return c, nil
 }
 
-// mulRows computes rows [r0, r1) of c = a·b with l-j tiling.
-func mulRows(c, a, b *matrix.Dense, r0, r1, tile int) {
-	m, k := b.Cols, a.Cols
-	for ll := 0; ll < k; ll += tile {
-		lEnd := min(ll+tile, k)
-		for jj := 0; jj < m; jj += tile {
-			jEnd := min(jj+tile, m)
-			for i := r0; i < r1; i++ {
-				arow := a.Data[i*k : (i+1)*k]
-				crow := c.Data[i*m : (i+1)*m]
-				for l := ll; l < lEnd; l++ {
-					av := arow[l]
-					if av == 0 {
-						continue
-					}
-					brow := b.Data[l*m : (l+1)*m]
-					for j := jj; j < jEnd; j++ {
-						crow[j] += av * brow[j]
-					}
-				}
-			}
-		}
+// mulRows computes rows [r0, r1) of c = a·b by viewing the band as a
+// zero-copy sub-matrix and delegating to the shared tiled kernel in
+// internal/matrix. Row bands partition c and a by whole rows, so the
+// views alias disjoint memory and each band's per-element accumulation
+// order is exactly the serial kernel's: the parallel product is
+// bit-identical to matrix.Mul.
+func mulRows(c, a, b *matrix.Dense, r0, r1 int) {
+	if r0 >= r1 {
+		return
 	}
+	m, k := b.Cols, a.Cols
+	cBand := &matrix.Dense{Rows: r1 - r0, Cols: m, Data: c.Data[r0*m : r1*m]}
+	aBand := &matrix.Dense{Rows: r1 - r0, Cols: k, Data: a.Data[r0*k : r1*k]}
+	matrix.MulAddInto(cBand, aBand, b)
 }

@@ -35,6 +35,23 @@
 //     cost the paper takes from the literature as a closed form
 //     (Johnsson–Ho broadcast) rather than deriving step by step.
 //
+// Buffer ownership contract (documented in docs/PERFORMANCE.md):
+//
+//   - Send/SendFree/SendNeighbor/ChargedSend copy the payload; the
+//     caller keeps the slice and may mutate it immediately.
+//   - The *Owned variants (SendOwned, SendFreeOwned, SendNeighborOwned)
+//     transfer ownership of the slice to the runtime without copying.
+//     The caller must not read or write the slice afterwards, and must
+//     never pass a sub-slice of a buffer it still uses.
+//   - Recv returns a buffer owned by the caller. When the caller is
+//     done with it, Recycle returns it to the processor's buffer pool
+//     so subsequent deliveries allocate nothing; recycling is optional
+//     (an un-recycled buffer is simply garbage collected) but a
+//     recycled buffer must not be used again.
+//
+// Ownership and pooling affect host allocation only: every virtual-time
+// quantity is computed exactly as for the copying path.
+//
 // Messages are matched by (source, tag). Matching is deterministic:
 // messages between the same pair with the same tag are consumed in
 // send order, so the virtual times of a run are reproducible
@@ -49,12 +66,14 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"matscale/internal/machine"
 )
 
-type msgKey struct {
-	dst, src, tag int
+// srcTag matches a message within one destination's mailbox.
+type srcTag struct {
+	src, tag int
 }
 
 type message struct {
@@ -62,29 +81,99 @@ type message struct {
 	arrival float64
 }
 
+// msgQueue is a growable FIFO ring of messages for one (src, tag) key.
+// The ring never shrinks and the key's entry is never deleted, so a
+// steady-state send/recv cycle pushes and pops with zero allocation.
+type msgQueue struct {
+	buf  []message
+	head int // index of the oldest message
+	n    int // live messages
+}
+
+func (q *msgQueue) push(m message) {
+	if q.n == len(q.buf) {
+		grown := make([]message, max(4, 2*len(q.buf)))
+		for i := 0; i < q.n; i++ {
+			grown[i] = q.buf[(q.head+i)%len(q.buf)]
+		}
+		q.buf, q.head = grown, 0
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = m
+	q.n++
+}
+
+func (q *msgQueue) pop() message {
+	m := q.buf[q.head]
+	q.buf[q.head] = message{} // release the payload reference
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return m
+}
+
+// mailbox is one destination rank's share of the messaging state. Each
+// rank delivers into and receives from its own mailbox under the
+// mailbox's lock, so p ranks exchanging messages contend pairwise
+// instead of serializing on one run-wide mutex.
+//
+// Single-consumer invariant: only the owning rank pops from queues and
+// waits on cond; other ranks only push and signal. waiting/want are
+// the owner's published Recv state, read by the deadlock scan.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queues  map[srcTag]*msgQueue
+	waiting bool   // owner is blocked in Recv
+	want    srcTag // key the owner is blocked on (valid while waiting)
+}
+
 // run is the shared state of one simulation.
+//
+// Lock ordering: gmu before any mailbox.mu, never the reverse. Code
+// holding a mailbox lock must release it before touching gmu (Recv does
+// exactly this when it blocks), which is what lets the deadlock scan
+// hold gmu and visit every mailbox without deadlocking the detector
+// itself.
 type run struct {
 	mach *machine.Machine
 	p    int
 
-	mu       sync.Mutex
-	conds    []*sync.Cond // one per rank, all on mu: deliveries signal only the destination
-	queues   map[msgKey][]message
-	inFlight int            // messages sent but not yet received
-	alive    int            // processors still executing
-	waiting  map[int]msgKey // blocked receivers and the key each wants
-	failed   error
+	boxes []mailbox
+
+	gmu     sync.Mutex
+	alive   int   // processors still executing
+	blocked int   // processors registered as blocked in Recv
+	failed  error // first failure; aborted is its fast-path flag
+	aborted atomic.Bool
 
 	// links tracks per-directed-link busy-until virtual times when the
-	// machine has TrackContention set.
+	// machine has TrackContention set. Guarded by gmu.
 	links map[[2]int]float64
+
+	// pool is the overflow tier of the payload buffer pool: buffers
+	// beyond a processor's private free list are parked here for any
+	// rank to reuse. Which buffer a rank gets back is scheduling
+	// dependent, but buffers carry no virtual-time state — every slot
+	// is overwritten before delivery — so reuse order cannot affect
+	// results.
+	pool sync.Pool //nodetbreak:pooled — reviewed: payload recycling only, carries no simulation state
+}
+
+// poolSlice wraps a pooled buffer; sync.Pool holds pointers so that
+// parking a buffer does not box a slice header per Put.
+type poolSlice struct{ buf []float64 }
+
+// err returns the run's failure, which is non-nil once aborted is set.
+func (r *run) err() error {
+	r.gmu.Lock()
+	defer r.gmu.Unlock()
+	return r.failed
 }
 
 // traverseLocked advances a message over route (starting at src at
 // virtual time t), serializing on busy links, and returns the arrival
 // time. hopCost is charged per hop under store-and-forward; under
 // cut-through the whole path is claimed for one transfer time.
-// Callers must hold r.mu.
+// Callers must hold r.gmu.
 func (r *run) traverseLocked(src int, route []int, t float64, words int) float64 {
 	if len(route) == 0 {
 		return t
@@ -124,29 +213,69 @@ func (r *run) traverseLocked(src int, route []int, t float64, words int) float64
 	return t
 }
 
-// wakeAllLocked wakes every blocked receiver (used on failure and on
+// wakeAll wakes every blocked receiver (used on failure and on
 // processor exit, where any waiter may need to re-examine the state).
-func (r *run) wakeAllLocked() {
-	for _, c := range r.conds {
-		c.Signal()
+// Callers must not hold any mailbox lock.
+func (r *run) wakeAll() {
+	for i := range r.boxes {
+		b := &r.boxes[i]
+		b.mu.Lock()
+		b.cond.Broadcast()
+		b.mu.Unlock()
 	}
 }
 
-// deadlockedLocked reports whether the simulation can make no further
-// progress: every live processor is blocked in Recv and none of the
-// wanted messages is queued. A queued match means the waiter has been
-// (or is about to be) woken, so the state is not stable. Callers must
-// hold r.mu.
-func (r *run) deadlockedLocked() bool {
-	if len(r.waiting) != r.alive || r.alive == 0 {
-		return false
+// scanDeadlockLocked reports how many processors are registered blocked
+// and whether the simulation is deadlocked: every live processor
+// blocked in Recv with no wanted message queued. A queued match means
+// the waiter has been (or is about to be) woken, so the state is not
+// stable. Callers must hold r.gmu and no mailbox lock.
+func (r *run) scanDeadlockLocked() (int, bool) {
+	if r.alive == 0 {
+		return 0, false
 	}
-	for _, k := range r.waiting {
-		if len(r.queues[k]) > 0 {
-			return false
+	waiting, stable := 0, true
+	for i := range r.boxes {
+		b := &r.boxes[i]
+		b.mu.Lock()
+		if b.waiting {
+			waiting++
+			if q := b.queues[b.want]; q != nil && q.n > 0 {
+				stable = false
+			}
+		}
+		b.mu.Unlock()
+	}
+	return waiting, stable && waiting == r.alive
+}
+
+// block registers rank as blocked in Recv. When every live processor
+// is blocked it runs the deadlock scan and, on a confirmed deadlock,
+// fails the run. It returns the run's failure (nil when the caller
+// should go on to wait). The caller must have published waiting/want in
+// its mailbox before calling, and must pair a nil return with unblock.
+func (r *run) block(rank, src, tag int) error {
+	r.gmu.Lock()
+	r.blocked++
+	if r.failed == nil && r.blocked >= r.alive {
+		if _, dead := r.scanDeadlockLocked(); dead {
+			r.failed = fmt.Errorf("simulator: deadlock: all %d live processors blocked in Recv (rank %d waiting for src=%d tag=%d)", r.alive, rank, src, tag)
+			r.aborted.Store(true)
+			r.gmu.Unlock()
+			r.wakeAll()
+			r.gmu.Lock()
 		}
 	}
-	return true
+	err := r.failed
+	r.gmu.Unlock()
+	return err
+}
+
+// unblock withdraws a block registration.
+func (r *run) unblock() {
+	r.gmu.Lock()
+	r.blocked--
+	r.gmu.Unlock()
 }
 
 // Proc is the handle a processor body uses to communicate and compute.
@@ -178,6 +307,11 @@ type Proc struct {
 	retryTime float64
 	retries   int
 
+	// spare is the rank-private tier of the payload buffer pool: only
+	// this goroutine touches it, so the steady-state copy path costs no
+	// lock and no allocation. Overflow parks in run.pool.
+	spare [][]float64
+
 	// links aggregates charged outgoing traffic per destination rank
 	// when the machine requests metrics. Zero-cost transfers
 	// (verification gathers, barriers) are excluded: they are
@@ -188,6 +322,50 @@ type Proc struct {
 	tracing bool
 	trace   []Event
 }
+
+// spareBufs bounds the rank-private free list; beyond it buffers park
+// in the run-wide pool.
+const spareBufs = 8
+
+// getBuf returns a length-n buffer from the pool hierarchy, allocating
+// only when neither tier has one of sufficient capacity.
+func (p *Proc) getBuf(n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	sp := p.spare
+	for i := len(sp) - 1; i >= 0; i-- {
+		if cap(sp[i]) >= n {
+			b := sp[i][:n]
+			sp[i] = sp[len(sp)-1]
+			sp[len(sp)-1] = nil
+			p.spare = sp[:len(sp)-1]
+			return b
+		}
+	}
+	if w, _ := p.r.pool.Get().(*poolSlice); w != nil && cap(w.buf) >= n {
+		return w.buf[:n]
+	}
+	return make([]float64, n)
+}
+
+// putBuf returns a consumed buffer to the pool hierarchy.
+func (p *Proc) putBuf(b []float64) {
+	if cap(b) == 0 {
+		return
+	}
+	if len(p.spare) < spareBufs {
+		p.spare = append(p.spare, b[:0])
+		return
+	}
+	p.r.pool.Put(&poolSlice{buf: b[:0]})
+}
+
+// Recycle returns a buffer obtained from Recv (or Exchange) to this
+// processor's buffer pool, so subsequent message deliveries can reuse
+// it instead of allocating. Recycling is optional; a recycled buffer
+// must not be read or written afterwards.
+func (p *Proc) Recycle(buf []float64) { p.putBuf(buf) }
 
 // linkAgg accumulates the charged traffic of one directed link.
 type linkAgg struct {
@@ -249,33 +427,52 @@ func (p *Proc) Compute(flops float64) {
 
 // Send transfers data to dst with the machine-defined cost and tags it
 // for matching. On a contention-tracking machine the message claims
-// its route's links and waits for any it finds busy.
+// its route's links and waits for any it finds busy. The payload is
+// copied: the caller keeps the slice.
 func (p *Proc) Send(dst, tag int, data []float64) {
+	p.send(dst, tag, data, false)
+}
+
+// SendOwned is Send without the payload copy: ownership of data
+// transfers to the runtime (and ultimately to the receiver). The caller
+// must not use data afterwards and must never pass a sub-slice of a
+// buffer it still uses. Virtual-time charging is identical to Send.
+func (p *Proc) SendOwned(dst, tag int, data []float64) {
+	p.send(dst, tag, data, true)
+}
+
+func (p *Proc) send(dst, tag int, data []float64, owned bool) {
 	if p.r.mach.TrackContention && dst != p.rank {
-		p.sendContended(dst, tag, data, p.r.mach.Route(p.rank, dst))
+		p.sendContended(dst, tag, data, p.r.mach.Route(p.rank, dst), owned)
 		return
 	}
 	cost := p.r.mach.MsgTime(len(data), p.rank, dst)
-	p.sendInternal(dst, tag, data, cost)
+	p.sendInternal(dst, tag, data, cost, owned)
 }
 
 // sendContended routes the message link by link, serializing on busy
 // links; the sender is charged the full (possibly delayed) transfer
 // and the excess over the contention-free cost is recorded.
-func (p *Proc) sendContended(dst, tag int, data []float64, route []int) {
+func (p *Proc) sendContended(dst, tag int, data []float64, route []int, owned bool) {
 	r := p.r
-	r.mu.Lock()
+	r.gmu.Lock()
 	arrival := r.traverseLocked(p.rank, route, p.clock, len(data))
-	r.mu.Unlock()
+	r.gmu.Unlock()
 	cost := arrival - p.clock
 	p.contentionWait += cost - r.mach.MsgTimeOn(len(data), len(route), p.rank, dst)
-	p.sendInternal(dst, tag, data, cost)
+	p.sendInternal(dst, tag, data, cost, owned)
 }
 
 // SendFree transfers data at zero virtual cost. See the package comment
 // for the narrow set of legitimate uses.
 func (p *Proc) SendFree(dst, tag int, data []float64) {
-	p.sendInternal(dst, tag, data, 0)
+	p.sendInternal(dst, tag, data, 0, false)
+}
+
+// SendFreeOwned is SendFree with ownership transfer: no copy, and the
+// caller must not use data afterwards.
+func (p *Proc) SendFreeOwned(dst, tag int, data []float64) {
+	p.sendInternal(dst, tag, data, 0, true)
 }
 
 // SendNeighbor transfers data to dst charging a single-hop transfer,
@@ -286,20 +483,38 @@ func (p *Proc) SendFree(dst, tag int, data []float64) {
 // assumes (Gray-code rings, bit-field subcubes). A send to self is
 // free.
 func (p *Proc) SendNeighbor(dst, tag int, data []float64) {
+	p.sendNeighbor(dst, tag, data, false)
+}
+
+// SendNeighborOwned is SendNeighbor with ownership transfer: no copy,
+// and the caller must not use data afterwards.
+func (p *Proc) SendNeighborOwned(dst, tag int, data []float64) {
+	p.sendNeighbor(dst, tag, data, true)
+}
+
+func (p *Proc) sendNeighbor(dst, tag int, data []float64, owned bool) {
 	if dst != p.rank && p.r.mach.TrackContention {
-		p.sendContended(dst, tag, data, []int{dst})
+		p.sendContended(dst, tag, data, []int{dst}, owned)
 		return
 	}
 	var cost float64
 	if dst != p.rank {
 		cost = p.r.mach.MsgTimeOn(len(data), 1, p.rank, dst)
 	}
-	p.sendInternal(dst, tag, data, cost)
+	p.sendInternal(dst, tag, data, cost, owned)
 }
 
 // ExchangeNeighbor is Exchange with single-hop neighbor charging.
 func (p *Proc) ExchangeNeighbor(partner, tag int, data []float64) []float64 {
 	p.SendNeighbor(partner, tag, data)
+	return p.Recv(partner, tag)
+}
+
+// ExchangeNeighborOwned is ExchangeNeighbor with ownership transfer of
+// the outgoing buffer: no copy, and the caller must not use data after
+// the call (the returned buffer replaces it).
+func (p *Proc) ExchangeNeighborOwned(partner, tag int, data []float64) []float64 {
+	p.SendNeighborOwned(partner, tag, data)
 	return p.Recv(partner, tag)
 }
 
@@ -309,7 +524,7 @@ func (p *Proc) ChargedSend(dst, tag int, data []float64, cost float64) {
 	if cost < 0 {
 		panic(fmt.Sprintf("simulator: negative send cost %v", cost))
 	}
-	p.sendInternal(dst, tag, data, cost)
+	p.sendInternal(dst, tag, data, cost, false)
 }
 
 // Transfer names one destination of a SendMulti.
@@ -351,7 +566,7 @@ func (p *Proc) SendMulti(ts []Transfer) {
 		if c := p.r.mach.MsgTime(len(t.Data), p.rank, t.Dst); c > 0 {
 			p.chargeLink(t.Dst, len(t.Data), c)
 		}
-		p.deliver(t.Dst, t.Tag, t.Data)
+		p.deliver(t.Dst, t.Tag, t.Data, false)
 	}
 }
 
@@ -364,7 +579,7 @@ func (p *Proc) SendMulti(ts []Transfer) {
 // successful transmission delivers data. Zero-cost transfers
 // (verification gathers, barriers) bypass the layer: they are
 // bookkeeping, not modeled communication.
-func (p *Proc) sendInternal(dst, tag int, data []float64, cost float64) {
+func (p *Proc) sendInternal(dst, tag int, data []float64, cost float64, owned bool) {
 	start := p.clock
 	charge := cost
 	if f := p.r.mach.Faults; cost > 0 && f != nil && f.Loss > 0 {
@@ -392,75 +607,109 @@ func (p *Proc) sendInternal(dst, tag int, data []float64, cost float64) {
 		p.record(Event{Kind: EventSend, Peer: dst, Tag: tag, Words: len(data), Start: p.clock - cost, End: p.clock})
 		p.chargeLink(dst, len(data), cost)
 	}
-	p.deliver(dst, tag, data)
+	p.deliver(dst, tag, data, owned)
 }
 
 // fail aborts the simulation with err: it marks the shared run failed,
 // wakes every blocked receiver, and unwinds this processor.
 func (p *Proc) fail(err error) {
 	r := p.r
-	r.mu.Lock()
+	r.gmu.Lock()
 	if r.failed == nil {
 		r.failed = err
 	}
 	err = r.failed
-	r.wakeAllLocked()
-	r.mu.Unlock()
+	r.aborted.Store(true)
+	r.gmu.Unlock()
+	r.wakeAll()
 	panic(abort{err})
 }
 
-func (p *Proc) deliver(dst, tag int, data []float64) {
+// deliver enqueues the payload in dst's mailbox. Borrowed payloads
+// (owned == false) are copied into a pooled buffer; owned payloads are
+// enqueued as-is, transferring the slice to the receiver.
+func (p *Proc) deliver(dst, tag int, data []float64, owned bool) {
 	if dst < 0 || dst >= p.r.p {
 		panic(fmt.Sprintf("simulator: send to rank %d outside [0,%d)", dst, p.r.p))
 	}
 	p.msgsSent++
 	p.wordsSent += len(data)
-	cp := make([]float64, len(data))
-	copy(cp, data)
-	k := msgKey{dst: dst, src: p.rank, tag: tag}
-	r := p.r
-	r.mu.Lock()
-	r.queues[k] = append(r.queues[k], message{data: cp, arrival: p.clock})
-	r.inFlight++
-	r.conds[dst].Signal()
-	r.mu.Unlock()
+	payload := data
+	if !owned {
+		payload = p.getBuf(len(data))
+		copy(payload, data)
+	}
+	k := srcTag{src: p.rank, tag: tag}
+	b := &p.r.boxes[dst]
+	b.mu.Lock()
+	q := b.queues[k]
+	if q == nil {
+		q = &msgQueue{}
+		b.queues[k] = q
+	}
+	q.push(message{data: payload, arrival: p.clock})
+	if b.waiting && b.want == k {
+		b.cond.Signal()
+	}
+	b.mu.Unlock()
 }
 
 // Recv blocks until the matching message from src with the given tag
 // arrives, then advances the clock to the message's arrival time if it
-// is later than the local clock.
+// is later than the local clock. The returned buffer is owned by the
+// caller; pass it to Recycle when done to keep the message path
+// allocation-free.
 func (p *Proc) Recv(src, tag int) []float64 {
 	if src < 0 || src >= p.r.p {
 		panic(fmt.Sprintf("simulator: recv from rank %d outside [0,%d)", src, p.r.p))
 	}
-	k := msgKey{dst: p.rank, src: src, tag: tag}
+	k := srcTag{src: src, tag: tag}
 	r := p.r
-	r.mu.Lock()
-	for len(r.queues[k]) == 0 {
-		if r.failed != nil {
-			err := r.failed
-			r.mu.Unlock()
+	b := &r.boxes[p.rank]
+	for {
+		b.mu.Lock()
+		if q := b.queues[k]; q != nil && q.n > 0 {
+			m := q.pop()
+			b.mu.Unlock()
+			return p.consume(m, src, tag)
+		}
+		if r.aborted.Load() {
+			b.mu.Unlock()
+			panic(abort{r.err()})
+		}
+		// Publish the blocked state, then register globally (which may
+		// run the deadlock scan). The box lock is released first: the
+		// scan takes gmu before mailbox locks, never the reverse.
+		b.waiting, b.want = true, k
+		b.mu.Unlock()
+		if err := r.block(p.rank, src, tag); err != nil {
+			b.mu.Lock()
+			b.waiting = false
+			b.mu.Unlock()
+			r.unblock()
 			panic(abort{err})
 		}
-		r.waiting[p.rank] = k
-		if r.deadlockedLocked() {
-			r.failed = fmt.Errorf("simulator: deadlock: all %d live processors blocked in Recv (rank %d waiting for src=%d tag=%d)", r.alive, p.rank, src, tag)
-			delete(r.waiting, p.rank)
-			err := r.failed
-			r.wakeAllLocked()
-			r.mu.Unlock()
-			panic(abort{err})
+		b.mu.Lock()
+		for b.waiting {
+			if r.aborted.Load() {
+				break
+			}
+			if q := b.queues[k]; q != nil && q.n > 0 {
+				break
+			}
+			b.cond.Wait()
 		}
-		r.conds[p.rank].Wait()
-		delete(r.waiting, p.rank)
+		b.waiting = false
+		b.mu.Unlock()
+		r.unblock()
 	}
-	m := r.queues[k][0]
-	r.queues[k] = r.queues[k][1:]
-	if len(r.queues[k]) == 0 {
-		delete(r.queues, k)
-	}
-	r.inFlight--
-	r.mu.Unlock()
+}
+
+// consume applies a popped message to the receiver's clock and metrics
+// and hands the payload to the caller. The capacity is clipped to the
+// length so a caller append cannot grow into pooled memory that a later
+// delivery may reuse.
+func (p *Proc) consume(m message, src, tag int) []float64 {
 	p.msgsRecvd++
 	p.wordsRecvd += len(m.data)
 	if m.arrival > p.clock {
@@ -469,7 +718,10 @@ func (p *Proc) Recv(src, tag int) []float64 {
 		p.clock = m.arrival
 	}
 	p.record(Event{Kind: EventRecv, Peer: src, Tag: tag, Words: len(m.data), Start: p.clock, End: p.clock})
-	return m.data
+	if m.data == nil {
+		return nil
+	}
+	return m.data[:len(m.data):len(m.data)]
 }
 
 // Exchange sends data to partner and receives the partner's
@@ -477,6 +729,14 @@ func (p *Proc) Recv(src, tag int) []float64 {
 // transfer of a shift or recursive-doubling step.
 func (p *Proc) Exchange(partner, tag int, data []float64) []float64 {
 	p.Send(partner, tag, data)
+	return p.Recv(partner, tag)
+}
+
+// ExchangeOwned is Exchange with ownership transfer of the outgoing
+// buffer: no copy, and the caller must not use data after the call
+// (the returned buffer replaces it).
+func (p *Proc) ExchangeOwned(partner, tag int, data []float64) []float64 {
+	p.SendOwned(partner, tag, data)
 	return p.Recv(partner, tag)
 }
 
@@ -555,13 +815,15 @@ func Run(m *machine.Machine, body func(*Proc)) (*Result, error) {
 
 func runInternal(m *machine.Machine, body func(*Proc), collectTrace bool) (*Result, error) {
 	p := m.P()
-	r := &run{mach: m, p: p, queues: make(map[msgKey][]message), waiting: make(map[int]msgKey), alive: p}
+	r := &run{mach: m, p: p, alive: p}
 	if m.TrackContention {
 		r.links = make(map[[2]int]float64)
 	}
-	r.conds = make([]*sync.Cond, p)
-	for i := range r.conds {
-		r.conds[i] = sync.NewCond(&r.mu)
+	r.boxes = make([]mailbox, p)
+	for i := range r.boxes {
+		b := &r.boxes[i]
+		b.cond = sync.NewCond(&b.mu)
+		b.queues = make(map[srcTag]*msgQueue)
 	}
 
 	procs := make([]*Proc, p)
@@ -579,21 +841,26 @@ func runInternal(m *machine.Machine, body func(*Proc), collectTrace bool) (*Resu
 			defer wg.Done()
 			defer func() {
 				rec := recover()
-				r.mu.Lock()
+				r.gmu.Lock()
 				r.alive--
 				if rec != nil {
 					if _, isAbort := rec.(abort); !isAbort && r.failed == nil {
 						r.failed = fmt.Errorf("simulator: processor %d panicked: %v", pr.rank, rec)
+						r.aborted.Store(true)
 					}
 				}
 				// A processor exiting may starve blocked receivers.
-				if r.failed == nil && r.deadlockedLocked() {
-					r.failed = fmt.Errorf("simulator: deadlock: %d processors blocked after rank %d exited", len(r.waiting), pr.rank)
+				if r.failed == nil {
+					if n, dead := r.scanDeadlockLocked(); dead {
+						r.failed = fmt.Errorf("simulator: deadlock: %d processors blocked after rank %d exited", n, pr.rank)
+						r.aborted.Store(true)
+					}
 				}
-				if r.failed != nil {
-					r.wakeAllLocked()
+				mustWake := r.failed != nil
+				r.gmu.Unlock()
+				if mustWake {
+					r.wakeAll()
 				}
-				r.mu.Unlock()
 			}()
 			body(pr)
 		}(procs[i])
@@ -603,8 +870,14 @@ func runInternal(m *machine.Machine, body func(*Proc), collectTrace bool) (*Resu
 	if r.failed != nil {
 		return nil, r.failed
 	}
-	if r.inFlight != 0 {
-		return nil, fmt.Errorf("simulator: %d messages left unconsumed at exit", r.inFlight)
+	unconsumed := 0
+	for i := range r.boxes {
+		for _, q := range r.boxes[i].queues {
+			unconsumed += q.n
+		}
+	}
+	if unconsumed != 0 {
+		return nil, fmt.Errorf("simulator: %d messages left unconsumed at exit", unconsumed)
 	}
 
 	res := &Result{
