@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-json bench-gate sweep-determinism lint vet vet-tool fuzz cover verify repro clean
+.PHONY: all build test race bench bench-smoke bench-json bench-gate backend-equivalence sweep-determinism lint vet vet-tool fuzz cover verify repro clean
 
 all: build test
 
@@ -27,11 +27,18 @@ bench-json:
 	$(GO) run ./scripts/bench2json -in bench_pr.txt -out BENCH_pr.json
 
 # The CI regression gate: fail on >10% geomean ns/op slowdown in the
-# simulator benchmarks between two bench-json style runs.
+# engine benchmarks (both backends) between two bench-json style runs.
 BENCH_OLD ?= bench_main.txt
 BENCH_NEW ?= bench_pr.txt
 bench-gate:
-	$(GO) run ./scripts/benchgate -old $(BENCH_OLD) -new $(BENCH_NEW) -pkg 'internal/simulator' -max 0.10
+	$(GO) run ./scripts/benchgate -old $(BENCH_OLD) -new $(BENCH_NEW) -pkg 'internal/(simulator|des)' -max 0.10
+
+# The cross-backend differential suite under the race detector: the
+# goroutine and discrete-event engines must produce byte-identical
+# Result/Metrics/CSV/Chrome-trace output (docs/BACKENDS.md).
+backend-equivalence:
+	$(GO) test -race -count=1 ./internal/des
+	$(GO) test -race -count=1 -run 'TestWithBackend' .
 
 # The CI determinism check: the same sweep spec must emit byte-identical
 # CSV at 1 and 8 host workers, under the race detector (docs/SWEEP.md).
@@ -65,6 +72,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) -run='^$$' ./internal/faults
 	$(GO) test -fuzz=FuzzRandomPrograms -fuzztime=$(FUZZTIME) -run='^$$' ./internal/simulator
 	$(GO) test -fuzz=FuzzFaultedPrograms -fuzztime=$(FUZZTIME) -run='^$$' ./internal/simulator
+	$(GO) test -fuzz=FuzzBackendEquivalence -fuzztime=$(FUZZTIME) -run='^$$' ./internal/des
 
 # Coverage with the CI floor check (75% of statements in internal/...).
 cover:

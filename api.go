@@ -8,6 +8,7 @@ import (
 	"matscale/internal/core"
 	"matscale/internal/experiments"
 	"matscale/internal/faults"
+	"matscale/internal/machine"
 	"matscale/internal/model"
 	"matscale/internal/regions"
 	"matscale/internal/shm"
@@ -48,6 +49,44 @@ type (
 // docs/FAULTS.md for the full grammar.
 var ParseFaults = faults.Parse
 
+// Backend selects the simulation engine that executes the rank
+// programs of a Run, RunAuto or Sweep call. Both backends produce
+// byte-identical results — Tp, metrics, traces, CSV — for a fixed
+// configuration, because the cost model is schedule-independent; the
+// choice only affects host performance and scale. See docs/BACKENDS.md
+// for the model and the determinism argument.
+type Backend = machine.Backend
+
+const (
+	// Goroutines is the default engine: one host goroutine per
+	// simulated rank with blocking mailboxes. Fine up to a few thousand
+	// ranks.
+	Goroutines = machine.BackendGoroutines
+	// Events is the discrete-event engine of internal/des: a central
+	// virtual-time event loop resuming rank coroutines one at a time,
+	// with a native fast path for systolic programs. It reaches
+	// p = 2^20 ranks in seconds.
+	Events = machine.BackendEvents
+)
+
+// ParseBackend parses the textual backend names the CLI accepts:
+// "goroutines" and "events".
+var ParseBackend = machine.ParseBackend
+
+// UnsupportedBackendError is the typed error Run, RunAuto and Sweep
+// return when the requested backend cannot serve the call — today,
+// when the Backend value itself is not one of the defined constants;
+// a future backend supporting only a subset of the options would
+// report the offending combination the same way.
+type UnsupportedBackendError struct {
+	Backend Backend
+	Reason  string
+}
+
+func (e *UnsupportedBackendError) Error() string {
+	return fmt.Sprintf("matscale: backend %v unsupported: %s", e.Backend, e.Reason)
+}
+
 // Sweep types, re-exported. See docs/SWEEP.md for the spec grammar and
 // the determinism guarantee.
 type (
@@ -75,12 +114,14 @@ var SweepAlgorithms = sweep.AlgorithmNames
 type Option func(*runConfig)
 
 type runConfig struct {
-	metrics   bool
-	traceSink io.Writer
-	dnsGrid   int
-	workers   int
-	faults    *faults.Config
-	progress  func(done, total int, c SweepCell)
+	metrics    bool
+	traceSink  io.Writer
+	dnsGrid    int
+	workers    int
+	faults     *faults.Config
+	progress   func(done, total int, c SweepCell)
+	backend    Backend
+	backendSet bool
 }
 
 func newRunConfig(opts []Option) runConfig {
@@ -139,6 +180,22 @@ func WithProgress(fn func(done, total int, c SweepCell)) Option {
 	return func(c *runConfig) { c.progress = fn }
 }
 
+// WithBackend selects the simulation engine a Run, RunAuto or Sweep
+// call executes on: Goroutines (the default) or Events. The result is
+// byte-identical either way — backend-equivalence is asserted by the
+// cross-backend differential suite — so pick Events when the rank
+// count is large (it simulates Cannon at p = 2^20 in seconds) and
+// Goroutines otherwise:
+//
+//	res, err := matscale.Run(matscale.Cannon, matscale.NCube2(1<<20), a, b,
+//	        matscale.WithBackend(matscale.Events))
+//
+// An undefined Backend value makes the call fail with an
+// *UnsupportedBackendError. The caller's machine is never mutated.
+func WithBackend(b Backend) Option {
+	return func(c *runConfig) { c.backend, c.backendSet = b, true }
+}
+
 // WithFaults runs the algorithm on a deterministically perturbed
 // machine: f's stragglers slow per-rank compute, its link factors and
 // jitter scale transfer costs, and its loss rate forces timeout +
@@ -157,12 +214,22 @@ func WithFaults(f *Faults) Option {
 	return func(c *runConfig) { c.faults = f }
 }
 
+// validateBackend rejects WithBackend values outside the defined
+// constants with the typed error.
+func (c runConfig) validateBackend() error {
+	if c.backendSet && !c.backend.Known() {
+		return &UnsupportedBackendError{Backend: c.backend, Reason: "not a defined Backend value"}
+	}
+	return nil
+}
+
 // machineFor returns the machine the algorithm should run on: m
-// itself when no observability or faults were requested, otherwise a
-// copy with the collection flags raised and the fault scenario
-// attached, so the caller's machine is never mutated.
+// itself when no observability, faults or backend were requested,
+// otherwise a copy with the collection flags raised, the fault
+// scenario attached and the backend selected, so the caller's machine
+// is never mutated.
 func (c runConfig) machineFor(m *Machine) *Machine {
-	if !c.metrics && c.traceSink == nil && c.faults == nil {
+	if !c.metrics && c.traceSink == nil && c.faults == nil && !c.backendSet {
 		return m
 	}
 	mm := *m
@@ -170,6 +237,9 @@ func (c runConfig) machineFor(m *Machine) *Machine {
 	mm.CollectTrace = mm.CollectTrace || c.traceSink != nil
 	if c.faults != nil {
 		mm.Faults = c.faults
+	}
+	if c.backendSet {
+		mm.Backend = c.backend
 	}
 	return &mm
 }
@@ -202,6 +272,9 @@ func (c runConfig) export(res *Result) error {
 // any measured quantity.
 func Run(alg Algorithm, m *Machine, a, b *Matrix, opts ...Option) (*Result, error) {
 	cfg := newRunConfig(opts)
+	if err := cfg.validateBackend(); err != nil {
+		return nil, err
+	}
 	if cfg.dnsGrid > 0 {
 		if alg != nil && !sameAlgorithm(alg, DNS) {
 			return nil, fmt.Errorf("matscale: WithDNSGrid requires the DNS algorithm (or nil)")
@@ -287,12 +360,15 @@ func predictedTp(name string, m *Machine, n int) float64 {
 // ordering when the preferred formulation's structural requirements
 // (perfect square/cube processor counts, divisibility) do not hold for
 // this exact configuration. The returned Selection identifies what
-// actually ran. It is the typed replacement for AutoMul.
+// actually ran.
 func RunAuto(m *Machine, a, b *Matrix, opts ...Option) (*Result, Selection, error) {
 	return runAuto(newRunConfig(opts), m, a, b)
 }
 
 func runAuto(cfg runConfig, m *Machine, a, b *Matrix) (*Result, Selection, error) {
+	if err := cfg.validateBackend(); err != nil {
+		return nil, Selection{}, err
+	}
 	if a.Rows != a.Cols || b.Rows != b.Cols || a.Rows != b.Rows {
 		return nil, Selection{}, fmt.Errorf("matscale: auto-selection needs equal square matrices, got %dx%d and %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
 	}
@@ -336,15 +412,20 @@ func runAuto(cfg runConfig, m *Machine, a, b *Matrix) (*Result, Selection, error
 //	// res.Cells holds one SweepCell per grid point, sorted;
 //	// res.CSV() / res.WriteJSON(w) / res.Render() export it.
 //
-// WithWorkers selects the pool size (default all CPUs) and
-// WithProgress observes cells as they complete; the other options are
+// WithWorkers selects the pool size (default all CPUs), WithProgress
+// observes cells as they complete, and WithBackend selects the
+// simulation engine every cell executes on; the other options are
 // ignored — per-cell fault scenarios come from spec.Faults, so that
 // clean-vs-faulted grids are part of the declarative spec. For a fixed
 // spec the result — including its CSV, JSON and rendered forms — is
-// byte-identical at every worker count; see docs/SWEEP.md.
+// byte-identical at every worker count and under either backend; see
+// docs/SWEEP.md and docs/BACKENDS.md.
 func Sweep(spec *SweepSpec, opts ...Option) (*SweepResult, error) {
 	cfg := newRunConfig(opts)
-	return sweep.Run(spec, sweep.Options{Workers: cfg.workers, Progress: cfg.progress})
+	if err := cfg.validateBackend(); err != nil {
+		return nil, err
+	}
+	return sweep.Run(spec, sweep.Options{Workers: cfg.workers, Progress: cfg.progress, Backend: cfg.backend})
 }
 
 // RunAll regenerates the full paper reproduction — every table, figure

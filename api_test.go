@@ -3,6 +3,8 @@ package matscale_test
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -149,32 +151,96 @@ func TestRunAutoSelection(t *testing.T) {
 	}
 }
 
-func TestSelectConsistentWithChoose(t *testing.T) {
-	m := matscale.NCube2(64)
-	sel := matscale.Select(m, 128)
-	_, name := matscale.Choose(m, 128)
-	if sel.Name != name {
-		t.Fatalf("Select picked %q, Choose picked %q", sel.Name, name)
-	}
-	if sel.PredictedTp <= 0 {
-		t.Fatalf("PredictedTp = %v", sel.PredictedTp)
-	}
-}
-
-func TestAutoMulWrapsRunAuto(t *testing.T) {
+func TestWithBackendRunEquivalence(t *testing.T) {
 	m := matscale.NCube2(64)
 	a := matscale.RandomMatrix(16, 16, 1)
 	b := matscale.RandomMatrix(16, 16, 2)
-	res, name, err := matscale.AutoMul(m, a, b)
+	g, err := matscale.Run(matscale.Cannon, m, a, b, matscale.WithMetrics())
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, sel, err := matscale.RunAuto(m, a, b)
+	e, err := matscale.Run(matscale.Cannon, m, a, b,
+		matscale.WithMetrics(), matscale.WithBackend(matscale.Events))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if name != sel.Name || res.Algorithm != sel.Name {
-		t.Fatalf("AutoMul name %q, RunAuto selection %q, result %q", name, sel.Name, res.Algorithm)
+	if m.Backend != matscale.Goroutines {
+		t.Fatal("WithBackend mutated the caller's machine")
+	}
+	if !reflect.DeepEqual(g.Sim, e.Sim) {
+		t.Fatalf("backends differ: goroutines Tp=%v, events Tp=%v", g.Sim.Tp, e.Sim.Tp)
+	}
+}
+
+func TestWithBackendRunAutoAndSweep(t *testing.T) {
+	m := matscale.NCube2(64)
+	a := matscale.RandomMatrix(16, 16, 1)
+	b := matscale.RandomMatrix(16, 16, 2)
+	g, gsel, err := matscale.RunAuto(m, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, esel, err := matscale.RunAuto(m, a, b, matscale.WithBackend(matscale.Events))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gsel.Name != esel.Name || !reflect.DeepEqual(g.Sim, e.Sim) {
+		t.Fatalf("RunAuto diverges across backends: %q vs %q", gsel.Name, esel.Name)
+	}
+	spec := &matscale.SweepSpec{
+		Algorithms: []string{"cannon", "gk"},
+		Machines:   []string{"ncube2"},
+		Ps:         []int{16, 64},
+		Ns:         []int{16},
+	}
+	gs, err := matscale.Sweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, err := matscale.Sweep(spec, matscale.WithBackend(matscale.Events))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs.CSV() != es.CSV() {
+		t.Fatal("sweep CSV differs between backends")
+	}
+}
+
+func TestWithBackendUnknownValue(t *testing.T) {
+	m := matscale.NCube2(16)
+	a := matscale.RandomMatrix(16, 16, 1)
+	bad := matscale.WithBackend(matscale.Backend(99))
+	var ube *matscale.UnsupportedBackendError
+	if _, err := matscale.Run(matscale.Cannon, m, a, a, bad); !errors.As(err, &ube) {
+		t.Fatalf("Run err = %v, want *UnsupportedBackendError", err)
+	}
+	if ube.Backend != matscale.Backend(99) || ube.Error() == "" {
+		t.Fatalf("error carries %v: %q", ube.Backend, ube.Error())
+	}
+	if _, _, err := matscale.RunAuto(m, a, a, bad); !errors.As(err, &ube) {
+		t.Fatalf("RunAuto err = %v, want *UnsupportedBackendError", err)
+	}
+	spec := &matscale.SweepSpec{Algorithms: []string{"cannon"}, Machines: []string{"ncube2"}, Ps: []int{16}, Ns: []int{16}}
+	if _, err := matscale.Sweep(spec, bad); !errors.As(err, &ube) {
+		t.Fatalf("Sweep err = %v, want *UnsupportedBackendError", err)
+	}
+}
+
+func TestParseBackend(t *testing.T) {
+	for name, want := range map[string]matscale.Backend{
+		"goroutines": matscale.Goroutines,
+		"events":     matscale.Events,
+	} {
+		got, err := matscale.ParseBackend(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseBackend(%q) = %v, %v", name, got, err)
+		}
+		if got.String() != name {
+			t.Fatalf("Backend %v renders as %q", got, got.String())
+		}
+	}
+	if _, err := matscale.ParseBackend("quantum"); err == nil {
+		t.Fatal("want error for unknown backend name")
 	}
 }
 

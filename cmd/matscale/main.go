@@ -13,8 +13,10 @@
 //	                    [-a A.csv -b B.csv -out C.csv]
 //	                    [-metrics] [-trace out.json] [-grid q]
 //	                    [-faults 'straggler=3@rank7,loss=0.01,seed=42']
+//	                    [-backend goroutines|events]
 //	matscale robust     [-n 16 -p 64 -machine ncube2]
 //	                    [-faults 'straggler=2@rank0,seed=42']
+//	                    [-backend goroutines|events]
 //	matscale isoeff     [-ts 150 -tw 3 -e 0.5]
 //	matscale compare    [-ts 150 -tw 3]
 //	matscale allport    [-ts 10 -tw 3]
@@ -25,6 +27,8 @@
 //	matscale sweep      [-alg cannon,gk -machine ncube2 -n 16,32 -p 16,64]
 //	                    [-faults 'scenario1;scenario2'] [-seed 1]
 //	                    [-jobs 0] [-csv out.csv] [-json out.json] [-progress]
+//	                    [-backend goroutines|events]
+//	matscale millionrank [-n 1024]
 //	matscale tssweep    [-n 64 -p 64 -tw 3]
 //	matscale saturation [-n 64 -ts 150 -tw 3]
 //	matscale verify
@@ -84,6 +88,8 @@ func main() {
 		err = cmdTrace(args)
 	case "sweep":
 		err = cmdGridSweep(args)
+	case "millionrank":
+		err = cmdMillionRank(args)
 	case "tssweep":
 		err = cmdTsSweep(args)
 	case "saturation":
@@ -122,6 +128,7 @@ commands:
   verify       self-check: every algorithm vs its paper equation
   trace        render the virtual-time schedule of a collective
   sweep        run a whole experiment grid in parallel (algorithms × machines × n × p × faults)
+  millionrank  strong-scaling study on the events backend, up to p = 2^20 ranks
   tssweep      GK-vs-Cannon winner as the startup time ts varies
   saturation   fixed-size speedup saturation (Section 3)
   all          regenerate the complete reproduction in one run`)
@@ -196,9 +203,14 @@ func cmdRun(args []string) error {
 	traceFile := fs.String("trace", "", "write a Chrome trace_event JSON to this file (chrome://tracing, Perfetto)")
 	grid := fs.Int("grid", 0, "DNS block-grid side (runs DNS with WithDNSGrid; requires -alg dns)")
 	faultSpec := fs.String("faults", "", "fault scenario, e.g. 'straggler=3@rank7,loss=0.01,seed=42' (see docs/FAULTS.md)")
+	backendName := fs.String("backend", "goroutines", "simulation engine: goroutines, events (see docs/BACKENDS.md)")
 	fs.Parse(args)
 
 	m, err := machineForPreset(*machineName, *p, *ts, *tw)
+	if err != nil {
+		return err
+	}
+	backend, err := matscale.ParseBackend(*backendName)
 	if err != nil {
 		return err
 	}
@@ -222,7 +234,7 @@ func cmdRun(args []string) error {
 		}
 	}
 
-	var opts []matscale.Option
+	opts := []matscale.Option{matscale.WithBackend(backend)}
 	if *metrics {
 		opts = append(opts, matscale.WithMetrics())
 	}
@@ -339,9 +351,14 @@ func cmdRobust(args []string) error {
 	ts, tw := paramFlags(fs, 150, 3)
 	seed := fs.Uint64("seed", 1, "matrix seed")
 	faultSpec := fs.String("faults", "straggler=2@rank0,seed=42", "fault scenario to inject (see docs/FAULTS.md)")
+	backendName := fs.String("backend", "goroutines", "simulation engine: goroutines, events (see docs/BACKENDS.md)")
 	fs.Parse(args)
 
 	m, err := machineForPreset(*machineName, *p, *ts, *tw)
+	if err != nil {
+		return err
+	}
+	backend, err := matscale.ParseBackend(*backendName)
 	if err != nil {
 		return err
 	}
@@ -373,13 +390,14 @@ func cmdRobust(args []string) error {
 		{"berntsen", matscale.Berntsen, nil}, {"dns", matscale.DNS, dnsOpts},
 		{"gk", matscale.GK, nil},
 	} {
-		clean, err := matscale.Run(c.alg, m, a, b, append(c.opts, matscale.WithMetrics())...)
+		clean, err := matscale.Run(c.alg, m, a, b,
+			append(c.opts, matscale.WithMetrics(), matscale.WithBackend(backend))...)
 		if err != nil {
 			fmt.Printf("%-10s %12s\n", c.name, "n/a: "+err.Error())
 			continue
 		}
 		faulted, err := matscale.Run(c.alg, m, a, b,
-			append(c.opts, matscale.WithFaults(fc), matscale.WithMetrics())...)
+			append(c.opts, matscale.WithFaults(fc), matscale.WithMetrics(), matscale.WithBackend(backend))...)
 		if err != nil {
 			return fmt.Errorf("%s under faults: %w", c.name, err)
 		}
@@ -457,6 +475,17 @@ func writeMatrixFile(path string, m *matscale.Matrix) error {
 	}
 	defer f.Close()
 	return matscale.WriteCSV(f, m)
+}
+
+// cmdMillionRank runs the strong-scaling study of the events backend:
+// Cannon and GK at up to p = n² ranks (2^20 at the default n) on the
+// hypercube and mesh presets. The default grid takes a couple of
+// minutes of wall time; the virtual-time output is deterministic.
+func cmdMillionRank(args []string) error {
+	fs := flag.NewFlagSet("millionrank", flag.ExitOnError)
+	n := fs.Int("n", 1024, "matrix dimension (power of two); the study tops out at p = n² ranks")
+	fs.Parse(args)
+	return experiments.MillionRankStudy(os.Stdout, *n)
 }
 
 func cmdIsoeff(args []string) error {

@@ -41,30 +41,54 @@ func ExampleCannon() {
 	// Tp = 776
 }
 
-// AutoMul picks the algorithm Section 6's overhead comparison predicts
+// RunAuto picks the algorithm Section 6's overhead comparison predicts
 // to win — here Berntsen's algorithm, because p is far below n^(3/2).
-func ExampleAutoMul() {
+func ExampleRunAuto() {
 	m := matscale.NCube2(64)
 	a := matscale.RandomMatrix(512, 512, 1)
 	b := matscale.RandomMatrix(512, 512, 2)
-	_, name, err := matscale.AutoMul(m, a, b)
+	_, sel, err := matscale.RunAuto(m, a, b)
 	if err != nil {
 		panic(err)
 	}
-	fmt.Println("chose", name)
+	fmt.Println("chose", sel.Name)
 	// Output:
 	// chose Berntsen
 }
 
-// Choose consults the region analysis without running anything.
-func ExampleChoose() {
-	_, highLatency := matscale.Choose(matscale.NCube2(4096), 64)
-	_, lowLatency := matscale.Choose(matscale.SIMD(1<<15), 64)
-	fmt.Println("ts=150:", highLatency)
-	fmt.Println("ts=0.5:", lowLatency)
+// Select consults the region analysis without running anything.
+func ExampleSelect() {
+	highLatency := matscale.Select(matscale.NCube2(4096), 64)
+	lowLatency := matscale.Select(matscale.SIMD(1<<15), 64)
+	fmt.Println("ts=150:", highLatency.Name)
+	fmt.Println("ts=0.5:", lowLatency.Name)
 	// Output:
 	// ts=150: GK
 	// ts=0.5: DNS
+}
+
+// WithBackend swaps the simulation engine under a run. The two
+// backends are byte-equivalent — same Tp, same product, same metrics —
+// so the events backend is purely a scale upgrade: it simulates
+// Cannon's algorithm at a million ranks in seconds, where the
+// goroutine backend cannot go.
+func ExampleWithBackend() {
+	m := matscale.Hypercube(16, 17, 3)
+	a := matscale.Identity(16)
+	g, err := matscale.Run(matscale.Cannon, m, a, a)
+	if err != nil {
+		panic(err)
+	}
+	e, err := matscale.Run(matscale.Cannon, m, a, a,
+		matscale.WithBackend(matscale.Events))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("goroutines Tp = %.0f\n", g.Sim.Tp)
+	fmt.Printf("events     Tp = %.0f\n", e.Sim.Tp)
+	// Output:
+	// goroutines Tp = 776
+	// events     Tp = 776
 }
 
 // ParallelMul is the real (non-simulated) parallel multiply for the

@@ -1,7 +1,7 @@
 // algochooser demonstrates the paper's concluding idea: "all the
 // algorithms can be stored in a library and the best algorithm can be
 // pulled out by a smart preprocessor/compiler depending on the various
-// parameters." AutoMul picks the formulation the Section 6 overhead
+// parameters." RunAuto picks the formulation the Section 6 overhead
 // analysis predicts to win for each machine and problem size, runs it,
 // and the example cross-checks the choice by racing every applicable
 // algorithm.
@@ -31,11 +31,11 @@ func main() {
 		a := matscale.RandomMatrix(c.n, c.n, 11)
 		b := matscale.RandomMatrix(c.n, c.n, 12)
 
-		res, chosen, err := matscale.AutoMul(c.m, a, b)
+		res, sel, err := matscale.RunAuto(c.m, a, b)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("   AutoMul chose %-9s Tp=%.0f  E=%.3f\n", chosen, res.Sim.Tp, res.Efficiency())
+		fmt.Printf("   RunAuto chose %-9s Tp=%.0f  E=%.3f\n", sel.Name, res.Sim.Tp, res.Efficiency())
 
 		// Race the rest of the library for comparison.
 		algs := []struct {

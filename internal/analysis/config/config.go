@@ -35,6 +35,7 @@ import (
 const (
 	MachinePath   = "matscale/internal/machine"
 	SimulatorPath = "matscale/internal/simulator"
+	DesPath       = "matscale/internal/des"
 )
 
 // deterministicPkgs lists the packages whose behavior must be
@@ -44,6 +45,7 @@ const (
 // results must not depend on the host worker count.
 var deterministicPkgs = map[string]bool{
 	SimulatorPath:                   true,
+	DesPath:                         true,
 	"matscale/internal/faults":      true,
 	"matscale/internal/core":        true,
 	"matscale/internal/collective":  true,
@@ -60,10 +62,13 @@ var chargedPkgs = map[string]bool{
 }
 
 // clockOwnerPkgs are the packages allowed to mutate machine cost
-// constants and simulator measurement fields.
+// constants and simulator measurement fields. internal/des is an
+// engine like the simulator itself: its native systolic tier assembles
+// Result values directly from its wave clocks.
 var clockOwnerPkgs = map[string]bool{
 	MachinePath:   true,
 	SimulatorPath: true,
+	DesPath:       true,
 }
 
 // costDocPkgs expose the paper's measured quantities; their exported

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"matscale/internal/des"
 	"matscale/internal/machine"
 	"matscale/internal/matrix"
 	"matscale/internal/simulator"
@@ -35,6 +36,9 @@ func Cannon(m *machine.Machine, a, b *matrix.Dense) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	if des.SystolicEligible(m) {
+		return cannonSystolic(m, a, b, n, q)
+	}
 	mesh := topology.NewTorus2D(q, q)
 	ga := matrix.Partition(a, q, q)
 	gb := matrix.Partition(b, q, q)
@@ -51,4 +55,92 @@ func Cannon(m *machine.Machine, a, b *matrix.Dense) (*Result, error) {
 		return nil, err
 	}
 	return newResult("Cannon", product, sim, n, p), nil
+}
+
+// cannonSystolic runs Cannon on the discrete-event backend's native
+// systolic tier: the timed skeleton (align at zero cost, then q steps
+// of compute + roll-A-left + roll-B-up, then the zero-cost gather) is
+// simulated as synchronous waves with no goroutine per rank, and the
+// product is computed directly in the same multiply-accumulate order
+// the rolled blocks would visit. Byte-identical to the other engines
+// (asserted by internal/des's native differential suite), it reaches
+// p = 2^20 ranks in seconds.
+func cannonSystolic(m *machine.Machine, a, b *matrix.Dense, n, q int) (*Result, error) {
+	p := q * q
+	blk := n / q
+	mesh := topology.NewTorus2D(q, q)
+	spec := des.SystolicSpec{
+		P:     p,
+		Steps: q,
+		Flops: float64(blk) * float64(blk) * float64(blk),
+		Words: blk * blk,
+		Shifts: []des.Shift{
+			{Dst: mesh.Left, Src: mesh.Right},
+			{Dst: mesh.Up, Src: mesh.Down},
+		},
+		PrologueMsgs:  2,
+		PrologueWords: 2 * blk * blk,
+		GatherRoot:    0,
+	}
+	sim, err := des.RunSystolic(m, spec)
+	if err != nil {
+		return nil, err
+	}
+	return newResult("Cannon", cannonProduct(a, b, q), sim, n, p), nil
+}
+
+// cannonProduct multiplies a and b in Cannon's accumulation order:
+// block (i, j) accumulates A_{i,w}·B_{w,j} for w = (i+j), (i+j+1), …
+// wrapping modulo q — the order the skewed blocks roll past processor
+// (i, j). The element values equal what the message-passing run
+// gathers, bit for bit, because the per-element addition sequence is
+// the same.
+func cannonProduct(a, b *matrix.Dense, q int) *matrix.Dense {
+	n := a.Rows
+	if q == n {
+		// One element per processor: c_ij is a rotated dot product of
+		// row i of A and column j of B. Walk the transposed B row-wise
+		// so both operands stream sequentially.
+		bt := make([]float64, n*n)
+		for w := 0; w < n; w++ {
+			for j := 0; j < n; j++ {
+				bt[j*n+w] = b.Data[w*n+j]
+			}
+		}
+		c := matrix.New(n, n)
+		for i := 0; i < n; i++ {
+			arow := a.Data[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				brow := bt[j*n : (j+1)*n]
+				w := i + j
+				if w >= n {
+					w -= n
+				}
+				var s float64
+				for t := w; t < n; t++ {
+					s += arow[t] * brow[t]
+				}
+				for t := 0; t < w; t++ {
+					s += arow[t] * brow[t]
+				}
+				c.Data[i*n+j] = s
+			}
+		}
+		return c
+	}
+	blk := n / q
+	ga := matrix.Partition(a, q, q)
+	gb := matrix.Partition(b, q, q)
+	c := matrix.New(n, n)
+	for i := 0; i < q; i++ {
+		for j := 0; j < q; j++ {
+			cblk := matrix.New(blk, blk)
+			for t := 0; t < q; t++ {
+				w := (i + j + t) % q
+				matrix.MulAddInto(cblk, ga.Block(i, w), gb.Block(w, j))
+			}
+			c.SetBlock(i*blk, j*blk, cblk)
+		}
+	}
+	return c
 }

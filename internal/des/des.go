@@ -1,0 +1,339 @@
+// Package des is the discrete-event simulation backend of the
+// virtual-time multicomputer: a central priority queue of
+// rank-becomes-runnable events, ordered by virtual time, drives the
+// same rank programs the goroutine backend runs — without a free-
+// running goroutine per rank.
+//
+// Each rank is a coroutine under strict handoff: exactly one of the
+// event loop and the rank bodies is ever runnable, so the entire
+// engine state is accessed single-threadedly and needs no locks. A
+// rank runs until it blocks in Recv on a message that does not exist
+// yet; the matching Deliver schedules a resume event at the virtual
+// time the receiver continues, max(receiver clock, arrival). The event
+// loop then always resumes the runnable rank with the least virtual
+// time — classic discrete-event simulation in the spirit of a
+// sequential logical-process simulator.
+//
+// Because every virtual-time quantity is charged by the shared
+// simulator.Proc code and message matching is FIFO per (source, tag),
+// the simulated results are independent of the order ready ranks are
+// resumed in; the event loop's least-time order is the canonical one.
+// The differential suite in this package asserts byte-identical
+// Result, Metrics, CSV and Chrome-trace output against the goroutine
+// backend for every formulation. See docs/BACKENDS.md for the event
+// model, the determinism argument, and guidance on choosing a backend.
+//
+// The fiber path below runs any program at moderate rank counts. For
+// the regular systolic structure of Cannon's algorithm the package
+// additionally provides a native million-rank path (wave.go) with no
+// per-rank coroutine at all.
+package des
+
+import (
+	"fmt"
+
+	"matscale/internal/machine"
+	"matscale/internal/simulator"
+)
+
+func init() {
+	simulator.RegisterBackend(machine.BackendEvents, run)
+}
+
+// key matches a message within one destination's mailbox.
+type key struct{ src, tag int }
+
+// msgQueue is a growable FIFO ring of messages for one (src, tag) key,
+// identical in behavior to the goroutine backend's: the ring never
+// shrinks and the key's entry is never deleted, so a steady-state
+// send/recv cycle pushes and pops with zero allocation.
+type msgQueue struct {
+	buf  []simulator.Message
+	head int // index of the oldest message
+	n    int // live messages
+}
+
+func (q *msgQueue) push(m simulator.Message) {
+	if q.n == len(q.buf) {
+		grown := make([]simulator.Message, max(4, 2*len(q.buf)))
+		for i := 0; i < q.n; i++ {
+			grown[i] = q.buf[(q.head+i)%len(q.buf)]
+		}
+		q.buf, q.head = grown, 0
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = m
+	q.n++
+}
+
+func (q *msgQueue) pop() simulator.Message {
+	m := q.buf[q.head]
+	q.buf[q.head] = simulator.Message{} // release the payload reference
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return m
+}
+
+// Fiber states. A fiber is parked whenever the event loop holds
+// control; parked-and-blocked means it sits inside Await.
+const (
+	stateParked = iota
+	stateRunning
+	stateExited
+)
+
+// fiber is one rank's coroutine: the goroutine that executes the rank
+// body, parked on resume between turns, plus the rank's mailbox and
+// scheduling state. All fields are owned by whichever side currently
+// holds control — strict handoff makes that exclusive.
+type fiber struct {
+	rank   int
+	eng    *engine
+	proc   *simulator.Proc
+	resume chan struct{}
+	queues map[key]*msgQueue
+
+	state    int
+	blocked  bool // parked inside Await
+	want     key  // key blocked on (valid while blocked)
+	ready    bool // resume event is on the heap
+	panicked any  // recover() value at exit, nil on clean return
+}
+
+// engine is the shared state of one discrete-event simulation. It
+// implements simulator.Engine. No locks anywhere: strict handoff means
+// at most one goroutine touches it at a time.
+type engine struct {
+	m      *machine.Machine
+	fibers []*fiber
+	heap   eventHeap
+	seq    uint64
+	// yield carries control from a fiber back to the event loop; the
+	// value is the yielding rank. A fiber yields when it blocks in
+	// Await or exits, never in between.
+	yield chan int
+
+	failed  error
+	aborted bool
+	alive   int
+
+	// links tracks per-directed-link busy-until virtual times when the
+	// machine has TrackContention set.
+	links map[[2]int]float64
+	// free is the run-wide overflow tier of the payload buffer pool.
+	// Unlike the goroutine backend's sync.Pool it is deterministic:
+	// LIFO order, single-threaded.
+	free [][]float64
+}
+
+// schedule pushes a resume event for rank at virtual time t.
+func (e *engine) schedule(t float64, rank int) {
+	e.heap.push(event{t: t, seq: e.seq, rank: int32(rank)})
+	e.seq++
+}
+
+// Deliver implements simulator.Engine: it enqueues msg in dst's
+// mailbox and, if dst is blocked on exactly this (src, tag) stream,
+// schedules its resume at the virtual time it will continue.
+func (e *engine) Deliver(src, dst, tag int, msg simulator.Message) {
+	f := e.fibers[dst]
+	k := key{src: src, tag: tag}
+	q := f.queues[k]
+	if q == nil {
+		q = &msgQueue{}
+		f.queues[k] = q
+	}
+	q.push(msg)
+	if f.blocked && f.want == k && !f.ready {
+		f.ready = true
+		t := f.proc.Clock()
+		if msg.Arrival > t {
+			t = msg.Arrival
+		}
+		e.schedule(t, dst)
+	}
+}
+
+// Await implements simulator.Engine: it returns the next (src, tag)
+// message addressed to rank, yielding control to the event loop until
+// one exists. Mirroring the goroutine backend, an available message is
+// consumed even after a failure; the abort only unwinds a rank that
+// would otherwise block forever.
+func (e *engine) Await(rank, src, tag int) simulator.Message {
+	f := e.fibers[rank]
+	k := key{src: src, tag: tag}
+	for {
+		if q := f.queues[k]; q != nil && q.n > 0 {
+			return q.pop()
+		}
+		if e.aborted {
+			simulator.AbortPanic(e.failed)
+		}
+		f.blocked, f.want = true, k
+		f.park()
+		f.blocked = false
+	}
+}
+
+// park hands control to the event loop and waits to be resumed.
+func (f *fiber) park() {
+	f.state = stateParked
+	f.eng.yield <- f.rank
+	<-f.resume
+	f.state = stateRunning
+}
+
+// ContendedArrival implements simulator.Engine via the shared
+// link-traversal computation; single-threaded, so no lock.
+func (e *engine) ContendedArrival(src int, route []int, start float64, words int) float64 {
+	return simulator.AdvanceRoute(e.m, e.links, src, route, start, words)
+}
+
+// Abort implements simulator.Engine: it records the first failure and
+// unwinds the calling rank. Parked ranks are poison-resumed by the
+// event loop's drain, each unwinding through Await when it next finds
+// nothing to consume.
+func (e *engine) Abort(err error) {
+	if e.failed == nil {
+		e.failed = err
+		e.aborted = true
+	}
+	simulator.AbortPanic(e.failed)
+}
+
+// GetBuf implements simulator.Engine: LIFO pop from the run-wide free
+// list. A buffer of insufficient capacity is dropped rather than put
+// back, mirroring the goroutine backend's pool tier.
+func (e *engine) GetBuf(n int) []float64 {
+	if len(e.free) == 0 {
+		return nil
+	}
+	b := e.free[len(e.free)-1]
+	e.free[len(e.free)-1] = nil
+	e.free = e.free[:len(e.free)-1]
+	if cap(b) < n {
+		return nil
+	}
+	return b[:n]
+}
+
+// PutBuf implements simulator.Engine.
+func (e *engine) PutBuf(b []float64) {
+	e.free = append(e.free, b)
+}
+
+// Run executes body on every processor of m under the discrete-event
+// engine and collects timing. It is the package-level entry point
+// equivalent to simulator.Run on a BackendEvents machine; results are
+// byte-identical to the goroutine backend's.
+func Run(m *machine.Machine, body func(*simulator.Proc)) (*simulator.Result, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return run(m, body, m.CollectTrace)
+}
+
+// run is the registered backend entry: m is already validated.
+func run(m *machine.Machine, body func(*simulator.Proc), collectTrace bool) (*simulator.Result, error) {
+	p := m.P()
+	e := &engine{m: m, yield: make(chan int), alive: p}
+	if m.TrackContention {
+		e.links = make(map[[2]int]float64)
+	}
+	e.fibers = make([]*fiber, p)
+	procs := make([]*simulator.Proc, p)
+	for i := 0; i < p; i++ {
+		f := &fiber{
+			rank:   i,
+			eng:    e,
+			proc:   simulator.NewProcOn(e, i, m, collectTrace),
+			resume: make(chan struct{}),
+			queues: make(map[key]*msgQueue),
+			state:  stateParked,
+			ready:  true,
+		}
+		e.fibers[i] = f
+		procs[i] = f.proc
+		// Every rank is runnable at virtual time zero.
+		e.schedule(0, i)
+	}
+	for _, f := range e.fibers {
+		go func(f *fiber) {
+			<-f.resume
+			f.state = stateRunning
+			defer func() {
+				f.panicked = recover()
+				f.state = stateExited
+				e.yield <- f.rank
+			}()
+			body(f.proc)
+		}(f)
+	}
+
+	// resumeAndWait hands control to f until it parks or exits,
+	// folding an exit into the engine's failure bookkeeping.
+	resumeAndWait := func(f *fiber) {
+		f.resume <- struct{}{}
+		r := <-e.yield
+		y := e.fibers[r]
+		if y.state != stateExited {
+			return
+		}
+		e.alive--
+		if pv := y.panicked; pv != nil {
+			if _, isAbort := simulator.AbortError(pv); !isAbort && e.failed == nil {
+				e.failed = fmt.Errorf("des: processor %d panicked: %v", y.rank, pv)
+				e.aborted = true
+			}
+		}
+	}
+
+	// The event loop: always resume the least-virtual-time runnable
+	// rank. The loop ends when no rank is runnable — completion when
+	// none is left alive, deadlock when blocked ranks remain — or on
+	// the first failure.
+	for e.failed == nil && e.heap.len() > 0 {
+		ev := e.heap.pop()
+		f := e.fibers[ev.rank]
+		f.ready = false
+		if f.state == stateExited {
+			continue
+		}
+		resumeAndWait(f)
+	}
+
+	if e.failed == nil && e.alive > 0 {
+		for _, f := range e.fibers {
+			if f.blocked {
+				e.failed = fmt.Errorf("des: deadlock: all %d live processors blocked in Recv (rank %d waiting for src=%d tag=%d)", e.alive, f.rank, f.want.src, f.want.tag)
+				e.aborted = true
+				break
+			}
+		}
+	}
+
+	// Drain after a failure: poison-resume every remaining fiber so
+	// each unwinds (or runs to completion) and its goroutine exits —
+	// the event backend must never leak parked coroutines.
+	for e.alive > 0 {
+		for _, f := range e.fibers {
+			if f.state != stateExited {
+				resumeAndWait(f)
+				break
+			}
+		}
+	}
+
+	if e.failed != nil {
+		return nil, e.failed
+	}
+	unconsumed := 0
+	for _, f := range e.fibers {
+		for _, q := range f.queues {
+			unconsumed += q.n
+		}
+	}
+	if unconsumed != 0 {
+		return nil, fmt.Errorf("des: %d messages left unconsumed at exit", unconsumed)
+	}
+	return simulator.BuildResult(m, procs, collectTrace), nil
+}

@@ -1,0 +1,59 @@
+package experiments_test
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"matscale/internal/experiments"
+)
+
+// A scaled-down grid (n = 32 tops out at p = n² = 1024 ranks) keeps
+// the test fast while still crossing the one-element-per-processor
+// limit and both machine presets.
+func TestMillionRankStudyScaledDown(t *testing.T) {
+	var sb strings.Builder
+	if err := experiments.MillionRankStudy(&sb, 32); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"n=32", "W=n³=32768 flops",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("study output missing %q:\n%s", want, out)
+		}
+	}
+	for _, want := range []string{
+		`(?m)^cannon +ncube2 +1024 `, // the p = n² limit ran
+		`(?m)^cannon +mesh +1024 `,
+		`(?m)^gk +ncube2 +512 `,
+		`(?m)^gk +mesh +64 `,
+	} {
+		if !regexp.MustCompile(want).MatchString(out) {
+			t.Errorf("study output missing row %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "n/a:") {
+		t.Errorf("a study cell failed:\n%s", out)
+	}
+
+	// The study is deterministic: a second run emits identical bytes.
+	var again strings.Builder
+	if err := experiments.MillionRankStudy(&again, 32); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != out {
+		t.Error("study output differs between runs")
+	}
+}
+
+func TestMillionRankStudyRejectsBadN(t *testing.T) {
+	var sb strings.Builder
+	if err := experiments.MillionRankStudy(&sb, 100); err == nil {
+		t.Error("want error for non-power-of-two n")
+	}
+	if err := experiments.MillionRankStudy(&sb, 2); err == nil {
+		t.Error("want error for tiny n")
+	}
+}

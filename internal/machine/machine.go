@@ -44,6 +44,57 @@ func (r Routing) String() string {
 	}
 }
 
+// Backend selects the simulation engine that executes rank programs on
+// a machine: the goroutine backend (one OS-scheduled goroutine per
+// rank, blocking mailboxes) or the discrete-event backend of
+// internal/des (a central virtual-time event loop resuming rank
+// coroutines one at a time). The two produce byte-identical results
+// for a fixed configuration — the cost model is schedule-independent —
+// so the choice is purely about host performance and scale; see
+// docs/BACKENDS.md. The selection rides on the Machine for the same
+// reason the observability flags do: it is the one context every
+// algorithm entry point receives, and it changes no measured quantity.
+type Backend int
+
+const (
+	// BackendGoroutines is the default concurrent engine.
+	BackendGoroutines Backend = iota
+	// BackendEvents is the sequential discrete-event engine, which
+	// scales to rank counts (p ≈ 2^20) far beyond the goroutine
+	// backend's reach.
+	BackendEvents
+	// backendCount bounds the valid Backend values for Validate.
+	backendCount
+)
+
+func (b Backend) String() string {
+	switch b {
+	case BackendGoroutines:
+		return "goroutines"
+	case BackendEvents:
+		return "events"
+	default:
+		return fmt.Sprintf("Backend(%d)", int(b))
+	}
+}
+
+// Known reports whether b is one of the defined Backend values.
+func (b Backend) Known() bool {
+	return b >= 0 && b < backendCount
+}
+
+// ParseBackend parses the textual backend names the CLI accepts:
+// "goroutines" and "events".
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "goroutines":
+		return BackendGoroutines, nil
+	case "events":
+		return BackendEvents, nil
+	}
+	return 0, fmt.Errorf("machine: unknown backend %q (have: goroutines, events)", s)
+}
+
 // Machine is a parallel computer: a topology plus the normalized cost
 // parameters of the paper.
 type Machine struct {
@@ -78,6 +129,9 @@ type Machine struct {
 	// history (simulator.Result.Trace) for timeline rendering and
 	// Chrome-trace export. Zero virtual cost.
 	CollectTrace bool
+	// Backend selects the simulation engine that executes rank programs
+	// on this machine (goroutines by default). See the Backend type.
+	Backend Backend
 	// Faults, when non-nil, perturbs the machine deterministically:
 	// per-rank compute slowdowns, per-link ts/tw perturbation, and
 	// probabilistic message loss repaired by timeout + bounded retry.
@@ -93,6 +147,16 @@ type Machine struct {
 func (m *Machine) WithFaults(f *faults.Config) *Machine {
 	mm := *m
 	mm.Faults = f
+	return &mm
+}
+
+// WithBackend returns a copy of m whose rank programs execute on the
+// given simulation backend. The receiver is not mutated; results are
+// byte-identical across backends, so the copy changes host behavior
+// only.
+func (m *Machine) WithBackend(b Backend) *Machine {
+	mm := *m
+	mm.Backend = b
 	return &mm
 }
 
@@ -172,6 +236,9 @@ func (m *Machine) Validate() error {
 	}
 	if m.Ts < 0 || m.Tw < 0 || m.Th < 0 {
 		return fmt.Errorf("machine: negative cost parameters ts=%v tw=%v th=%v", m.Ts, m.Tw, m.Th)
+	}
+	if m.Backend < 0 || m.Backend >= backendCount {
+		return fmt.Errorf("machine: unknown backend %v", m.Backend)
 	}
 	if err := m.Faults.Validate(); err != nil {
 		return err

@@ -1,0 +1,214 @@
+package simulator
+
+import (
+	"fmt"
+	"sort"
+
+	"matscale/internal/machine"
+)
+
+// Message is one delivered payload with its virtual arrival time — the
+// unit of exchange between a Proc and the Engine that carries its
+// messages.
+type Message struct {
+	Data    []float64
+	Arrival float64
+}
+
+// Engine is the messaging and scheduling substrate a Proc runs on. The
+// charging, fault, metrics and trace logic all live in Proc and are
+// shared by every backend; an Engine only moves payloads, suspends
+// receivers until their message exists, and arbitrates link contention.
+//
+// Two engines implement it: the goroutine backend in this package
+// (one free-running goroutine per rank, blocking mailboxes) and the
+// discrete-event backend in internal/des (a central virtual-time event
+// loop resuming rank coroutines). Because every virtual-time quantity
+// is computed by the shared Proc code, the two backends produce
+// byte-identical results for a fixed configuration; the differential
+// suite asserts this for all formulations (see docs/BACKENDS.md).
+type Engine interface {
+	// Deliver enqueues msg from src under the matching key (dst, tag).
+	// Ownership of msg.Data passes to the engine and ultimately to the
+	// receiver. Matching is FIFO per (src, tag) pair.
+	Deliver(src, dst, tag int, msg Message)
+	// Await returns the next message from (src, tag) addressed to rank,
+	// suspending the calling processor until one is available. When the
+	// run has failed it does not return: it panics with the package's
+	// abort value (see AbortPanic), unwinding the processor body.
+	Await(rank, src, tag int) Message
+	// ContendedArrival advances a transfer of words over route
+	// (starting at src at virtual time start), serializing on busy
+	// links, and returns the arrival time. Only called when the machine
+	// has TrackContention set.
+	ContendedArrival(src int, route []int, start float64, words int) float64
+	// Abort fails the run with err, releases every other processor, and
+	// unwinds the caller by panicking with the package's abort value.
+	// It does not return.
+	Abort(err error)
+	// GetBuf returns a pooled buffer of capacity at least n from the
+	// run-wide overflow tier, or nil when none is available; PutBuf
+	// parks a consumed buffer there. The rank-private pool tier lives
+	// in the Proc.
+	GetBuf(n int) []float64
+	PutBuf(b []float64)
+}
+
+// RunFunc executes body on every processor of m under some engine and
+// collects timing — the signature alternative backends register under
+// their machine.Backend value.
+type RunFunc func(m *machine.Machine, body func(*Proc), collectTrace bool) (*Result, error)
+
+// backends maps a machine.Backend to its registered runner. The
+// goroutine backend is built in; others (internal/des) install
+// themselves from an init function, so the map is written before any
+// simulation starts and read-only afterwards.
+var backends = map[machine.Backend]RunFunc{}
+
+// RegisterBackend installs the runner for backend b. It is intended to
+// be called from an init function of the package implementing the
+// backend; a later registration for the same value replaces the
+// earlier one.
+func RegisterBackend(b machine.Backend, fn RunFunc) {
+	backends[b] = fn
+}
+
+// dispatch routes a validated run to the engine the machine selects.
+func dispatch(m *machine.Machine, body func(*Proc), collectTrace bool) (*Result, error) {
+	if m.Backend == machine.BackendGoroutines {
+		return runInternal(m, body, collectTrace)
+	}
+	fn := backends[m.Backend]
+	if fn == nil {
+		return nil, fmt.Errorf("simulator: backend %q is not linked into this binary", m.Backend)
+	}
+	return fn(m, body, collectTrace)
+}
+
+// AdvanceRoute advances a transfer of words over route (starting at
+// src at virtual time t), serializing on links recorded busy in links,
+// and returns the arrival time, updating links in place. Under
+// store-and-forward routing each hop is charged and claimed
+// individually; under cut-through the whole path is claimed for one
+// transfer time. It is the one contention-tracking computation, shared
+// by every engine so that TrackContention runs are backend-identical.
+// Callers own the synchronization of links.
+func AdvanceRoute(m *machine.Machine, links map[[2]int]float64, src int, route []int, t float64, words int) float64 {
+	if len(route) == 0 {
+		return t
+	}
+	dst := route[len(route)-1]
+	if m.Routing == machine.CutThrough {
+		per := m.MsgTimeOn(words, len(route), src, dst)
+		start := t
+		prev := src
+		for _, node := range route {
+			l := [2]int{prev, node}
+			if links[l] > start {
+				start = links[l]
+			}
+			prev = node
+		}
+		finish := start + per
+		prev = src
+		for _, node := range route {
+			links[[2]int{prev, node}] = finish
+			prev = node
+		}
+		return finish
+	}
+	hop := m.MsgTimeOn(words, 1, src, dst)
+	prev := src
+	for _, node := range route {
+		l := [2]int{prev, node}
+		if links[l] > t {
+			t = links[l]
+		}
+		t += hop
+		links[l] = t
+		prev = node
+	}
+	return t
+}
+
+// NewProcOn builds the processor handle for one rank running on an
+// alternative engine, wiring the rank's straggler factor, link metrics
+// aggregation and tracing exactly as the goroutine backend does.
+// Backends must create one Proc per rank and pass the same tracing
+// flag to BuildResult.
+func NewProcOn(eng Engine, rank int, m *machine.Machine, tracing bool) *Proc {
+	pr := &Proc{rank: rank, eng: eng, mach: m, np: m.P(), tracing: tracing, computeFactor: 1}
+	if m.Faults != nil {
+		pr.computeFactor = m.Faults.ComputeFactor(rank)
+	}
+	if m.CollectMetrics {
+		pr.links = make(map[int]*linkAgg)
+	}
+	return pr
+}
+
+// AbortPanic unwinds the calling processor body with the package's
+// abort value wrapping err. Engines use it to implement Abort and to
+// release suspended receivers after a failure; the value is recognized
+// by the backends' recover handlers (see AbortError) so an unwinding
+// processor is not misreported as a fresh panic.
+func AbortPanic(err error) {
+	panic(abort{err})
+}
+
+// AbortError reports whether a recovered panic value v is the
+// simulator's abort value, returning the failure it carries.
+func AbortError(v any) (error, bool) {
+	a, ok := v.(abort)
+	if !ok {
+		return nil, false
+	}
+	return a.err, true
+}
+
+// BuildResult assembles the Result of a finished run from the per-rank
+// processor handles, in rank order, exactly as the goroutine backend
+// does — the float64 summation order is part of the byte-identity
+// contract between backends. procs must be indexed by rank.
+func BuildResult(m *machine.Machine, procs []*Proc, collectTrace bool) *Result {
+	p := len(procs)
+	res := &Result{
+		P:           p,
+		ProcClocks:  make([]float64, p),
+		ProcCompute: make([]float64, p),
+		ProcComm:    make([]float64, p),
+	}
+	for i, pr := range procs {
+		res.ProcClocks[i] = pr.clock
+		res.ProcCompute[i] = pr.computeTime
+		res.ProcComm[i] = pr.commTime
+		if pr.clock > res.Tp {
+			res.Tp = pr.clock
+		}
+		res.TotalCompute += pr.computeTime
+		res.TotalComm += pr.commTime
+		res.ContentionWait += pr.contentionWait
+		res.Messages += pr.msgsSent
+		res.Words += pr.wordsSent
+		res.Retries += pr.retries
+		res.RetryTime += pr.retryTime
+		res.StragglerExtra += pr.stragglerExtra
+	}
+	if m.CollectMetrics {
+		res.Metrics = buildMetrics(procs, res.Tp, m)
+	}
+	if collectTrace {
+		events := make([]Event, 0)
+		for _, pr := range procs {
+			events = append(events, pr.trace...)
+		}
+		sort.SliceStable(events, func(i, j int) bool {
+			if events[i].Rank != events[j].Rank {
+				return events[i].Rank < events[j].Rank
+			}
+			return events[i].Start < events[j].Start
+		})
+		res.Trace = &Trace{P: p, Tp: res.Tp, Events: events}
+	}
+	return res
+}

@@ -64,7 +64,6 @@ package simulator
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -76,23 +75,18 @@ type srcTag struct {
 	src, tag int
 }
 
-type message struct {
-	data    []float64
-	arrival float64
-}
-
 // msgQueue is a growable FIFO ring of messages for one (src, tag) key.
 // The ring never shrinks and the key's entry is never deleted, so a
 // steady-state send/recv cycle pushes and pops with zero allocation.
 type msgQueue struct {
-	buf  []message
+	buf  []Message
 	head int // index of the oldest message
 	n    int // live messages
 }
 
-func (q *msgQueue) push(m message) {
+func (q *msgQueue) push(m Message) {
 	if q.n == len(q.buf) {
-		grown := make([]message, max(4, 2*len(q.buf)))
+		grown := make([]Message, max(4, 2*len(q.buf)))
 		for i := 0; i < q.n; i++ {
 			grown[i] = q.buf[(q.head+i)%len(q.buf)]
 		}
@@ -102,9 +96,9 @@ func (q *msgQueue) push(m message) {
 	q.n++
 }
 
-func (q *msgQueue) pop() message {
+func (q *msgQueue) pop() Message {
 	m := q.buf[q.head]
-	q.buf[q.head] = message{} // release the payload reference
+	q.buf[q.head] = Message{} // release the payload reference
 	q.head = (q.head + 1) % len(q.buf)
 	q.n--
 	return m
@@ -169,48 +163,11 @@ func (r *run) err() error {
 	return r.failed
 }
 
-// traverseLocked advances a message over route (starting at src at
-// virtual time t), serializing on busy links, and returns the arrival
-// time. hopCost is charged per hop under store-and-forward; under
-// cut-through the whole path is claimed for one transfer time.
-// Callers must hold r.gmu.
+// traverseLocked advances a message over route via the shared
+// AdvanceRoute computation. Callers must hold r.gmu, which guards
+// r.links.
 func (r *run) traverseLocked(src int, route []int, t float64, words int) float64 {
-	if len(route) == 0 {
-		return t
-	}
-	m := r.mach
-	dst := route[len(route)-1]
-	if m.Routing == machine.CutThrough {
-		per := m.MsgTimeOn(words, len(route), src, dst)
-		start := t
-		prev := src
-		for _, node := range route {
-			l := [2]int{prev, node}
-			if r.links[l] > start {
-				start = r.links[l]
-			}
-			prev = node
-		}
-		finish := start + per
-		prev = src
-		for _, node := range route {
-			r.links[[2]int{prev, node}] = finish
-			prev = node
-		}
-		return finish
-	}
-	hop := m.MsgTimeOn(words, 1, src, dst)
-	prev := src
-	for _, node := range route {
-		l := [2]int{prev, node}
-		if r.links[l] > t {
-			t = r.links[l]
-		}
-		t += hop
-		r.links[l] = t
-		prev = node
-	}
-	return t
+	return AdvanceRoute(r.mach, r.links, src, route, t, words)
 }
 
 // wakeAll wakes every blocked receiver (used on failure and on
@@ -278,11 +235,117 @@ func (r *run) unblock() {
 	r.gmu.Unlock()
 }
 
+// Deliver implements Engine: it enqueues msg in dst's mailbox and wakes
+// the owner if it is blocked on exactly this (src, tag) stream.
+func (r *run) Deliver(src, dst, tag int, msg Message) {
+	k := srcTag{src: src, tag: tag}
+	b := &r.boxes[dst]
+	b.mu.Lock()
+	q := b.queues[k]
+	if q == nil {
+		q = &msgQueue{}
+		b.queues[k] = q
+	}
+	q.push(msg)
+	if b.waiting && b.want == k {
+		b.cond.Signal()
+	}
+	b.mu.Unlock()
+}
+
+// Await implements Engine: it blocks the calling goroutine on rank's
+// mailbox until the next (src, tag) message exists, participating in
+// the deadlock scan while blocked.
+func (r *run) Await(rank, src, tag int) Message {
+	k := srcTag{src: src, tag: tag}
+	b := &r.boxes[rank]
+	for {
+		b.mu.Lock()
+		if q := b.queues[k]; q != nil && q.n > 0 {
+			m := q.pop()
+			b.mu.Unlock()
+			return m
+		}
+		if r.aborted.Load() {
+			b.mu.Unlock()
+			AbortPanic(r.err())
+		}
+		// Publish the blocked state, then register globally (which may
+		// run the deadlock scan). The box lock is released first: the
+		// scan takes gmu before mailbox locks, never the reverse.
+		b.waiting, b.want = true, k
+		b.mu.Unlock()
+		if err := r.block(rank, src, tag); err != nil {
+			b.mu.Lock()
+			b.waiting = false
+			b.mu.Unlock()
+			r.unblock()
+			AbortPanic(err)
+		}
+		b.mu.Lock()
+		for b.waiting {
+			if r.aborted.Load() {
+				break
+			}
+			if q := b.queues[k]; q != nil && q.n > 0 {
+				break
+			}
+			b.cond.Wait()
+		}
+		b.waiting = false
+		b.mu.Unlock()
+		r.unblock()
+	}
+}
+
+// ContendedArrival implements Engine: link traversal under the run's
+// global lock.
+func (r *run) ContendedArrival(src int, route []int, start float64, words int) float64 {
+	r.gmu.Lock()
+	arrival := r.traverseLocked(src, route, start, words)
+	r.gmu.Unlock()
+	return arrival
+}
+
+// Abort implements Engine: it marks the shared run failed, wakes every
+// blocked receiver, and unwinds the calling processor.
+func (r *run) Abort(err error) {
+	r.gmu.Lock()
+	if r.failed == nil {
+		r.failed = err
+	}
+	err = r.failed
+	r.aborted.Store(true)
+	r.gmu.Unlock()
+	r.wakeAll()
+	AbortPanic(err)
+}
+
+// GetBuf implements Engine: the run-wide overflow tier of the buffer
+// pool. A pooled buffer of insufficient capacity is dropped (garbage
+// collected) rather than put back, mirroring the allocation the caller
+// then performs.
+func (r *run) GetBuf(n int) []float64 {
+	if w, _ := r.pool.Get().(*poolSlice); w != nil && cap(w.buf) >= n {
+		return w.buf[:n]
+	}
+	return nil
+}
+
+// PutBuf implements Engine.
+func (r *run) PutBuf(b []float64) {
+	r.pool.Put(&poolSlice{buf: b[:0]})
+}
+
 // Proc is the handle a processor body uses to communicate and compute.
-// A Proc is owned by exactly one goroutine and must not be shared.
+// A Proc is owned by exactly one processor body and must not be shared.
+// All virtual-time charging happens here, so every Engine a Proc runs
+// on measures identical quantities.
 type Proc struct {
 	rank int
-	r    *run
+	eng  Engine
+	mach *machine.Machine
+	np   int // processor count of the machine
 
 	clock          float64
 	computeTime    float64
@@ -343,8 +406,8 @@ func (p *Proc) getBuf(n int) []float64 {
 			return b
 		}
 	}
-	if w, _ := p.r.pool.Get().(*poolSlice); w != nil && cap(w.buf) >= n {
-		return w.buf[:n]
+	if b := p.eng.GetBuf(n); b != nil {
+		return b[:n]
 	}
 	return make([]float64, n)
 }
@@ -358,7 +421,7 @@ func (p *Proc) putBuf(b []float64) {
 		p.spare = append(p.spare, b[:0])
 		return
 	}
-	p.r.pool.Put(&poolSlice{buf: b[:0]})
+	p.eng.PutBuf(b[:0])
 }
 
 // Recycle returns a buffer obtained from Recv (or Exchange) to this
@@ -402,10 +465,10 @@ func (p *Proc) record(e Event) {
 func (p *Proc) Rank() int { return p.rank }
 
 // P returns the number of processors in the machine.
-func (p *Proc) P() int { return p.r.p }
+func (p *Proc) P() int { return p.np }
 
 // Machine returns the machine the program is running on.
-func (p *Proc) Machine() *machine.Machine { return p.r.mach }
+func (p *Proc) Machine() *machine.Machine { return p.mach }
 
 // Clock returns the processor's current virtual time.
 func (p *Proc) Clock() float64 { return p.clock }
@@ -442,11 +505,11 @@ func (p *Proc) SendOwned(dst, tag int, data []float64) {
 }
 
 func (p *Proc) send(dst, tag int, data []float64, owned bool) {
-	if p.r.mach.TrackContention && dst != p.rank {
-		p.sendContended(dst, tag, data, p.r.mach.Route(p.rank, dst), owned)
+	if p.mach.TrackContention && dst != p.rank {
+		p.sendContended(dst, tag, data, p.mach.Route(p.rank, dst), owned)
 		return
 	}
-	cost := p.r.mach.MsgTime(len(data), p.rank, dst)
+	cost := p.mach.MsgTime(len(data), p.rank, dst)
 	p.sendInternal(dst, tag, data, cost, owned)
 }
 
@@ -454,12 +517,9 @@ func (p *Proc) send(dst, tag int, data []float64, owned bool) {
 // links; the sender is charged the full (possibly delayed) transfer
 // and the excess over the contention-free cost is recorded.
 func (p *Proc) sendContended(dst, tag int, data []float64, route []int, owned bool) {
-	r := p.r
-	r.gmu.Lock()
-	arrival := r.traverseLocked(p.rank, route, p.clock, len(data))
-	r.gmu.Unlock()
+	arrival := p.eng.ContendedArrival(p.rank, route, p.clock, len(data))
 	cost := arrival - p.clock
-	p.contentionWait += cost - r.mach.MsgTimeOn(len(data), len(route), p.rank, dst)
+	p.contentionWait += cost - p.mach.MsgTimeOn(len(data), len(route), p.rank, dst)
 	p.sendInternal(dst, tag, data, cost, owned)
 }
 
@@ -493,13 +553,13 @@ func (p *Proc) SendNeighborOwned(dst, tag int, data []float64) {
 }
 
 func (p *Proc) sendNeighbor(dst, tag int, data []float64, owned bool) {
-	if dst != p.rank && p.r.mach.TrackContention {
+	if dst != p.rank && p.mach.TrackContention {
 		p.sendContended(dst, tag, data, []int{dst}, owned)
 		return
 	}
 	var cost float64
 	if dst != p.rank {
-		cost = p.r.mach.MsgTimeOn(len(data), 1, p.rank, dst)
+		cost = p.mach.MsgTimeOn(len(data), 1, p.rank, dst)
 	}
 	p.sendInternal(dst, tag, data, cost, owned)
 }
@@ -539,14 +599,14 @@ type Transfer struct {
 func (p *Proc) SendMulti(ts []Transfer) {
 	var total, max float64
 	for _, t := range ts {
-		c := p.r.mach.MsgTime(len(t.Data), p.rank, t.Dst)
+		c := p.mach.MsgTime(len(t.Data), p.rank, t.Dst)
 		total += c
 		if c > max {
 			max = c
 		}
 	}
 	charge := total
-	if p.r.mach.AllPort {
+	if p.mach.AllPort {
 		charge = max
 	}
 	start := p.clock
@@ -563,7 +623,7 @@ func (p *Proc) SendMulti(ts []Transfer) {
 		// Each link carries its own transfer for that transfer's
 		// duration, regardless of how the sender is charged (max on
 		// all-port, sum on one-port).
-		if c := p.r.mach.MsgTime(len(t.Data), p.rank, t.Dst); c > 0 {
+		if c := p.mach.MsgTime(len(t.Data), p.rank, t.Dst); c > 0 {
 			p.chargeLink(t.Dst, len(t.Data), c)
 		}
 		p.deliver(t.Dst, t.Tag, t.Data, false)
@@ -582,7 +642,7 @@ func (p *Proc) SendMulti(ts []Transfer) {
 func (p *Proc) sendInternal(dst, tag int, data []float64, cost float64, owned bool) {
 	start := p.clock
 	charge := cost
-	if f := p.r.mach.Faults; cost > 0 && f != nil && f.Loss > 0 {
+	if f := p.mach.Faults; cost > 0 && f != nil && f.Loss > 0 {
 		seq := p.sendSeq
 		p.sendSeq++
 		tries, delivered := f.Transmissions(p.rank, seq)
@@ -610,27 +670,18 @@ func (p *Proc) sendInternal(dst, tag int, data []float64, cost float64, owned bo
 	p.deliver(dst, tag, data, owned)
 }
 
-// fail aborts the simulation with err: it marks the shared run failed,
-// wakes every blocked receiver, and unwinds this processor.
+// fail aborts the simulation with err via the engine, which releases
+// the remaining processors and unwinds this one.
 func (p *Proc) fail(err error) {
-	r := p.r
-	r.gmu.Lock()
-	if r.failed == nil {
-		r.failed = err
-	}
-	err = r.failed
-	r.aborted.Store(true)
-	r.gmu.Unlock()
-	r.wakeAll()
-	panic(abort{err})
+	p.eng.Abort(err)
 }
 
-// deliver enqueues the payload in dst's mailbox. Borrowed payloads
+// deliver enqueues the payload under (dst, tag). Borrowed payloads
 // (owned == false) are copied into a pooled buffer; owned payloads are
 // enqueued as-is, transferring the slice to the receiver.
 func (p *Proc) deliver(dst, tag int, data []float64, owned bool) {
-	if dst < 0 || dst >= p.r.p {
-		panic(fmt.Sprintf("simulator: send to rank %d outside [0,%d)", dst, p.r.p))
+	if dst < 0 || dst >= p.np {
+		panic(fmt.Sprintf("simulator: send to rank %d outside [0,%d)", dst, p.np))
 	}
 	p.msgsSent++
 	p.wordsSent += len(data)
@@ -639,19 +690,7 @@ func (p *Proc) deliver(dst, tag int, data []float64, owned bool) {
 		payload = p.getBuf(len(data))
 		copy(payload, data)
 	}
-	k := srcTag{src: p.rank, tag: tag}
-	b := &p.r.boxes[dst]
-	b.mu.Lock()
-	q := b.queues[k]
-	if q == nil {
-		q = &msgQueue{}
-		b.queues[k] = q
-	}
-	q.push(message{data: payload, arrival: p.clock})
-	if b.waiting && b.want == k {
-		b.cond.Signal()
-	}
-	b.mu.Unlock()
+	p.eng.Deliver(p.rank, dst, tag, Message{Data: payload, Arrival: p.clock})
 }
 
 // Recv blocks until the matching message from src with the given tag
@@ -660,68 +699,29 @@ func (p *Proc) deliver(dst, tag int, data []float64, owned bool) {
 // caller; pass it to Recycle when done to keep the message path
 // allocation-free.
 func (p *Proc) Recv(src, tag int) []float64 {
-	if src < 0 || src >= p.r.p {
-		panic(fmt.Sprintf("simulator: recv from rank %d outside [0,%d)", src, p.r.p))
+	if src < 0 || src >= p.np {
+		panic(fmt.Sprintf("simulator: recv from rank %d outside [0,%d)", src, p.np))
 	}
-	k := srcTag{src: src, tag: tag}
-	r := p.r
-	b := &r.boxes[p.rank]
-	for {
-		b.mu.Lock()
-		if q := b.queues[k]; q != nil && q.n > 0 {
-			m := q.pop()
-			b.mu.Unlock()
-			return p.consume(m, src, tag)
-		}
-		if r.aborted.Load() {
-			b.mu.Unlock()
-			panic(abort{r.err()})
-		}
-		// Publish the blocked state, then register globally (which may
-		// run the deadlock scan). The box lock is released first: the
-		// scan takes gmu before mailbox locks, never the reverse.
-		b.waiting, b.want = true, k
-		b.mu.Unlock()
-		if err := r.block(p.rank, src, tag); err != nil {
-			b.mu.Lock()
-			b.waiting = false
-			b.mu.Unlock()
-			r.unblock()
-			panic(abort{err})
-		}
-		b.mu.Lock()
-		for b.waiting {
-			if r.aborted.Load() {
-				break
-			}
-			if q := b.queues[k]; q != nil && q.n > 0 {
-				break
-			}
-			b.cond.Wait()
-		}
-		b.waiting = false
-		b.mu.Unlock()
-		r.unblock()
-	}
+	return p.consume(p.eng.Await(p.rank, src, tag), src, tag)
 }
 
 // consume applies a popped message to the receiver's clock and metrics
 // and hands the payload to the caller. The capacity is clipped to the
 // length so a caller append cannot grow into pooled memory that a later
 // delivery may reuse.
-func (p *Proc) consume(m message, src, tag int) []float64 {
+func (p *Proc) consume(m Message, src, tag int) []float64 {
 	p.msgsRecvd++
-	p.wordsRecvd += len(m.data)
-	if m.arrival > p.clock {
-		p.record(Event{Kind: EventIdle, Peer: src, Tag: tag, Start: p.clock, End: m.arrival})
-		p.recvWait += m.arrival - p.clock
-		p.clock = m.arrival
+	p.wordsRecvd += len(m.Data)
+	if m.Arrival > p.clock {
+		p.record(Event{Kind: EventIdle, Peer: src, Tag: tag, Start: p.clock, End: m.Arrival})
+		p.recvWait += m.Arrival - p.clock
+		p.clock = m.Arrival
 	}
-	p.record(Event{Kind: EventRecv, Peer: src, Tag: tag, Words: len(m.data), Start: p.clock, End: p.clock})
-	if m.data == nil {
+	p.record(Event{Kind: EventRecv, Peer: src, Tag: tag, Words: len(m.Data), Start: p.clock, End: p.clock})
+	if m.Data == nil {
 		return nil
 	}
-	return m.data[:len(m.data):len(m.data)]
+	return m.Data[:len(m.Data):len(m.Data)]
 }
 
 // Exchange sends data to partner and receives the partner's
@@ -803,14 +803,16 @@ func (r *Result) Speedup(w float64) float64 { return w / r.Tp }
 // Efficiency returns E = W / (p·Tp).
 func (r *Result) Efficiency(w float64) float64 { return w / (float64(r.P) * r.Tp) }
 
-// Run executes body on every processor of m concurrently and collects
-// timing. It returns an error if any processor panics, if the program
-// deadlocks, or if messages are left unconsumed at exit.
+// Run executes body on every processor of m and collects timing. It
+// returns an error if any processor panics, if the program deadlocks,
+// or if messages are left unconsumed at exit. The machine's Backend
+// selects the engine; every backend measures identical virtual-time
+// quantities.
 func Run(m *machine.Machine, body func(*Proc)) (*Result, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	return runInternal(m, body, m.CollectTrace)
+	return dispatch(m, body, m.CollectTrace)
 }
 
 func runInternal(m *machine.Machine, body func(*Proc), collectTrace bool) (*Result, error) {
@@ -830,13 +832,7 @@ func runInternal(m *machine.Machine, body func(*Proc), collectTrace bool) (*Resu
 	var wg sync.WaitGroup
 	wg.Add(p)
 	for i := 0; i < p; i++ {
-		procs[i] = &Proc{rank: i, r: r, tracing: collectTrace, computeFactor: 1}
-		if m.Faults != nil {
-			procs[i].computeFactor = m.Faults.ComputeFactor(i)
-		}
-		if m.CollectMetrics {
-			procs[i].links = make(map[int]*linkAgg)
-		}
+		procs[i] = NewProcOn(r, i, m, collectTrace)
 		go func(pr *Proc) {
 			defer wg.Done()
 			defer func() {
@@ -844,7 +840,7 @@ func runInternal(m *machine.Machine, body func(*Proc), collectTrace bool) (*Resu
 				r.gmu.Lock()
 				r.alive--
 				if rec != nil {
-					if _, isAbort := rec.(abort); !isAbort && r.failed == nil {
+					if _, isAbort := AbortError(rec); !isAbort && r.failed == nil {
 						r.failed = fmt.Errorf("simulator: processor %d panicked: %v", pr.rank, rec)
 						r.aborted.Store(true)
 					}
@@ -879,44 +875,5 @@ func runInternal(m *machine.Machine, body func(*Proc), collectTrace bool) (*Resu
 	if unconsumed != 0 {
 		return nil, fmt.Errorf("simulator: %d messages left unconsumed at exit", unconsumed)
 	}
-
-	res := &Result{
-		P:           p,
-		ProcClocks:  make([]float64, p),
-		ProcCompute: make([]float64, p),
-		ProcComm:    make([]float64, p),
-	}
-	for i, pr := range procs {
-		res.ProcClocks[i] = pr.clock
-		res.ProcCompute[i] = pr.computeTime
-		res.ProcComm[i] = pr.commTime
-		if pr.clock > res.Tp {
-			res.Tp = pr.clock
-		}
-		res.TotalCompute += pr.computeTime
-		res.TotalComm += pr.commTime
-		res.ContentionWait += pr.contentionWait
-		res.Messages += pr.msgsSent
-		res.Words += pr.wordsSent
-		res.Retries += pr.retries
-		res.RetryTime += pr.retryTime
-		res.StragglerExtra += pr.stragglerExtra
-	}
-	if m.CollectMetrics {
-		res.Metrics = buildMetrics(procs, res.Tp, m)
-	}
-	if collectTrace {
-		events := make([]Event, 0)
-		for _, pr := range procs {
-			events = append(events, pr.trace...)
-		}
-		sort.SliceStable(events, func(i, j int) bool {
-			if events[i].Rank != events[j].Rank {
-				return events[i].Rank < events[j].Rank
-			}
-			return events[i].Start < events[j].Start
-		})
-		res.Trace = &Trace{P: p, Tp: res.Tp, Events: events}
-	}
-	return res, nil
+	return BuildResult(m, procs, collectTrace), nil
 }

@@ -142,7 +142,7 @@ func RunTraced(m *machine.Machine, body func(*Proc)) (*Result, *Trace, error) {
 	if err := m.Validate(); err != nil {
 		return nil, nil, err
 	}
-	res, err := runInternal(m, body, true)
+	res, err := dispatch(m, body, true)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -129,6 +129,10 @@ type Options struct {
 	// arrive in completion order, which is scheduling-dependent — sinks
 	// that need determinism must consume the Result instead.
 	Progress func(done, total int, r CellResult)
+	// Backend is the simulation engine every cell executes on
+	// (goroutines by default). Like Workers it never changes the
+	// Result: the backends are byte-equivalent for a fixed spec.
+	Backend machine.Backend
 }
 
 // algorithms is the formulation registry of the grid layer, keyed by
@@ -384,7 +388,7 @@ func Run(s *Spec, opt Options) (*Result, error) {
 	done := 0
 	err = ForEach(opt.Workers, len(cells), func(i int) error {
 		c := cells[i]
-		r := runCell(s, c, cfgs[c.Faults], mats[c.N])
+		r := runCell(s, c, cfgs[c.Faults], mats[c.N], opt.Backend)
 		r.PredictedTp = preds[i]
 		res.Cells[i] = r
 		if opt.Progress != nil {
@@ -410,13 +414,14 @@ func Run(s *Spec, opt Options) (*Result, error) {
 
 // runCell executes one cell on its own machine instance and records
 // either the measurements or the formulation's rejection.
-func runCell(s *Spec, c Cell, fc *faults.Config, mats [2]*matrix.Dense) CellResult {
+func runCell(s *Spec, c Cell, fc *faults.Config, mats [2]*matrix.Dense, backend machine.Backend) CellResult {
 	r := CellResult{Cell: c}
 	m, err := machineFor(c.Machine, c.P, s.Ts, s.Tw)
 	if err != nil {
 		r.Err = err.Error()
 		return r
 	}
+	m.Backend = backend
 	if fc != nil {
 		m = m.WithFaults(fc)
 	}

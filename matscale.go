@@ -16,10 +16,10 @@
 //   - the analytic toolkit: parallel-time and overhead functions,
 //     isoefficiency solving, equal-overhead crossovers and
 //     best-algorithm region maps;
-//   - AutoMul, the paper's concluding suggestion realized: "all the
-//     algorithms can be stored in a library and the best algorithm can
-//     be pulled out by a smart preprocessor depending on the various
-//     parameters";
+//   - RunAuto and Select, the paper's concluding suggestion realized:
+//     "all the algorithms can be stored in a library and the best
+//     algorithm can be pulled out by a smart preprocessor depending on
+//     the various parameters";
 //   - a real shared-memory parallel multiply for the host machine.
 //
 // Quick start:
@@ -145,33 +145,3 @@ var (
 //
 //	res, err := matscale.Run(matscale.DNS, m, a, b, matscale.WithDNSGrid(q))
 var DNSWithGrid = core.DNSWithGrid
-
-// Choose returns the algorithm the paper's Section 6 analysis predicts
-// to be fastest for multiplying n×n matrices on m, along with its
-// name.
-//
-// Deprecated: use Select, which returns the same choice as a typed
-// Selection that additionally carries the model-predicted parallel
-// time:
-//
-//	s := matscale.Select(m, n)
-//	// s.Algorithm, s.Name, s.PredictedTp
-func Choose(m *Machine, n int) (Algorithm, string) {
-	s := Select(m, n)
-	return s.Algorithm, s.Name
-}
-
-// AutoMul realizes the paper's concluding suggestion: it picks the
-// predicted-fastest applicable algorithm for (m, n) and runs it,
-// falling back along the overhead ordering when the preferred
-// formulation's structural requirements (perfect square/cube processor
-// counts, divisibility) do not hold for this exact configuration.
-//
-// Deprecated: use RunAuto, which returns the typed Selection instead
-// of a bare name and accepts the observability options:
-//
-//	res, sel, err := matscale.RunAuto(m, a, b, matscale.WithMetrics())
-func AutoMul(m *Machine, a, b *Matrix) (*Result, string, error) {
-	res, sel, err := RunAuto(m, a, b)
-	return res, sel.Name, err
-}

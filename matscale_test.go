@@ -38,77 +38,73 @@ func TestParallelMulMatchesSerial(t *testing.T) {
 	}
 }
 
-func TestChoosePerMachine(t *testing.T) {
+func TestSelectPerMachine(t *testing.T) {
 	// On the nCUBE-like machine with few processors relative to n,
 	// Berntsen is predicted (Figure 1's b region).
-	if _, name := matscale.Choose(matscale.NCube2(64), 1024); name != "Berntsen" {
-		t.Fatalf("NCube2 p=64 n=1024: chose %s, want Berntsen", name)
+	if s := matscale.Select(matscale.NCube2(64), 1024); s.Name != "Berntsen" {
+		t.Fatalf("NCube2 p=64 n=1024: chose %s, want Berntsen", s.Name)
 	}
 	// Same machine, p between n^(3/2) and n³: GK.
-	if _, name := matscale.Choose(matscale.NCube2(4096), 64); name != "GK" {
-		t.Fatalf("NCube2 p=4096 n=64: chose %s, want GK", name)
+	if s := matscale.Select(matscale.NCube2(4096), 64); s.Name != "GK" {
+		t.Fatalf("NCube2 p=4096 n=64: chose %s, want GK", s.Name)
 	}
 	// SIMD machine in the interior of the n² < p < n³ band: DNS.
-	if _, name := matscale.Choose(matscale.SIMD(1<<15), 64); name != "DNS" {
-		t.Fatalf("SIMD p=2^15 n=64: chose %s, want DNS", name)
+	if s := matscale.Select(matscale.SIMD(1<<15), 64); s.Name != "DNS" {
+		t.Fatalf("SIMD p=2^15 n=64: chose %s, want DNS", s.Name)
 	}
 	// SIMD machine in the n^(3/2) ≤ p ≤ n² band: Cannon.
-	if _, name := matscale.Choose(matscale.SIMD(1<<14), 128); name != "Cannon" {
-		t.Fatalf("SIMD p=2^14 n=128: chose %s, want Cannon", name)
+	if s := matscale.Select(matscale.SIMD(1<<14), 128); s.Name != "Cannon" {
+		t.Fatalf("SIMD p=2^14 n=128: chose %s, want Cannon", s.Name)
 	}
 }
 
-func TestAutoMulRunsChosenAlgorithm(t *testing.T) {
+func TestRunAutoRunsChosenAlgorithm(t *testing.T) {
 	m := matscale.SIMD(64)
 	a := matscale.RandomMatrix(48, 48, 5)
 	b := matscale.RandomMatrix(48, 48, 6)
-	res, name, err := matscale.AutoMul(m, a, b)
+	res, sel, err := matscale.RunAuto(m, a, b)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if name == "" || res.C == nil {
-		t.Fatalf("AutoMul returned %q, %v", name, res)
+	if sel.Name == "" || res.C == nil {
+		t.Fatalf("RunAuto returned %q, %v", sel.Name, res)
 	}
 	if d := maxDiff(res.C, matscale.Mul(a, b)); d > 1e-10 {
-		t.Fatalf("AutoMul product differs by %v", d)
+		t.Fatalf("RunAuto product differs by %v", d)
 	}
 }
 
-func TestAutoMulFallsBack(t *testing.T) {
-	// p = 64 and n = 50: Berntsen needs p^(2/3)=16 | n (no) and GK needs
-	// 4 | n (no... 50%4 != 0); Cannon needs 8 | n (no); Simple same;
-	// n=50 with p=64 fails most — use n=40: GK (q=4) divides, Cannon
-	// (√p=8) does not. Choose on SIMD(64), n=40 picks Cannon region?
-	// n^1.5=252 ≥ 64 → Berntsen region; Berntsen needs 16 | 40: fails →
-	// falls back to GK (4 | 40).
+func TestRunAutoFallsBack(t *testing.T) {
+	// p = 64 and n = 40: n^1.5=252 ≥ 64 → Berntsen region; Berntsen
+	// needs 16 | 40: fails → falls back to GK (4 | 40).
 	m := matscale.SIMD(64)
 	a := matscale.RandomMatrix(40, 40, 7)
 	b := matscale.RandomMatrix(40, 40, 8)
-	res, name, err := matscale.AutoMul(m, a, b)
+	res, sel, err := matscale.RunAuto(m, a, b)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if name != "GK" {
-		t.Fatalf("fallback chose %s, want GK", name)
+	if sel.Name != "GK" {
+		t.Fatalf("fallback chose %s, want GK", sel.Name)
 	}
 	if d := maxDiff(res.C, matscale.Mul(a, b)); d > 1e-10 {
 		t.Fatalf("product differs by %v", d)
 	}
 }
 
-func TestAutoMulRejectsBadShapes(t *testing.T) {
+func TestRunAutoRejectsBadShapes(t *testing.T) {
 	m := matscale.SIMD(4)
-	_, _, err := matscale.AutoMul(m, matscale.NewMatrix(3, 4), matscale.NewMatrix(4, 3))
+	_, _, err := matscale.RunAuto(m, matscale.NewMatrix(3, 4), matscale.NewMatrix(4, 3))
 	if err == nil || !strings.Contains(err.Error(), "square") {
 		t.Fatalf("err = %v", err)
 	}
 }
 
-func TestAutoMulNoAlgorithmFits(t *testing.T) {
+func TestRunAutoNoAlgorithmFits(t *testing.T) {
 	// Prime matrix size with a large processor count nothing divides.
 	m := matscale.SIMD(64)
 	a := matscale.RandomMatrix(7, 7, 9)
-	_, _, err := matscale.AutoMul(m, a, a)
+	_, _, err := matscale.RunAuto(m, a, a)
 	if err == nil || !strings.Contains(err.Error(), "no algorithm accepts") {
 		t.Fatalf("err = %v", err)
 	}
