@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-json bench-gate backend-equivalence sweep-determinism lint vet vet-tool fuzz cover verify repro clean
+.PHONY: all build test race bench bench-smoke bench-json bench-gate backend-equivalence sweep-determinism lint vet vet-tool fuzz cover verify repro server loadtest loadtest-json clean
 
 all: build test
 
@@ -87,6 +87,26 @@ verify:
 repro:
 	$(GO) run ./cmd/matscale all | tee REPRODUCTION.txt
 
+# Build and run the HTTP sweep server (docs/SERVER.md).
+server:
+	$(GO) build -o bin/matscale-server ./cmd/matscale-server
+	./bin/matscale-server
+
+# The CI load-test protocol: 200 concurrent clients, half of them
+# submitting overlapping specs, against an in-process server.
+LOADTEST_ARGS ?= -clients 200 -overlap 0.5
+loadtest:
+	$(GO) build -o bin/matscale-loadtest ./cmd/matscale-loadtest
+	./bin/matscale-loadtest $(LOADTEST_ARGS)
+
+# Load test in bench format, folded into the benchmark archive the way
+# the CI server job does it.
+loadtest-json:
+	$(GO) build -o bin/matscale-loadtest ./cmd/matscale-loadtest
+	./bin/matscale-loadtest $(LOADTEST_ARGS) -bench | tee loadtest_bench.txt
+	$(GO) run ./scripts/bench2json -in loadtest_bench.txt -merge BENCH_pr.json -out BENCH_pr.json
+
 clean:
-	rm -f REPRODUCTION.txt test_output.txt bench_output.txt bench_pr.txt coverage.out sweep_serial.csv sweep_parallel.csv
+	rm -f REPRODUCTION.txt test_output.txt bench_output.txt bench_pr.txt bench_main.txt bench_delta.txt coverage.out sweep_serial.csv sweep_parallel.csv
+	rm -f loadtest_bench.txt events_cold.txt events_warm.txt result_cold.json result_warm.json
 	rm -rf bin

@@ -11,6 +11,7 @@ import (
 	"matscale/internal/machine"
 	"matscale/internal/model"
 	"matscale/internal/regions"
+	"matscale/internal/server"
 	"matscale/internal/shm"
 	"matscale/internal/simulator"
 	"matscale/internal/sweep"
@@ -109,6 +110,45 @@ type (
 // SweepAlgorithms lists the algorithm names a SweepSpec accepts,
 // sorted.
 var SweepAlgorithms = sweep.AlgorithmNames
+
+// SweepCellCache memoizes completed sweep cells across runs. Sweep
+// results served from a cache are byte-identical to freshly simulated
+// ones — the differential suite asserts it — because a cell is a pure
+// function of its canonical (spec-cell, seed, backend) key. The sweep
+// server keys its LRU with it; embed one in long-lived tooling the
+// same way.
+type SweepCellCache = sweep.CellCache
+
+// Sweep server types, re-exported. SweepServer is an embeddable
+// HTTP/JSON sweep service: bounded job queue, token-bucket admission,
+// SSE progress streaming, and an LRU cell cache shared by overlapping
+// sweeps. See docs/SERVER.md for the API, the cache-key derivation and
+// the backpressure contract; cmd/matscale-server is the thin binary
+// front.
+type (
+	SweepServer       = server.Server
+	SweepServerConfig = server.Config
+	SweepServerStats  = server.Stats
+	// SweepServerClock injects time into a SweepServer. The server core
+	// is wall-clock-free by construction (it sits under the repo's
+	// determinism analyzers); binaries supply a wall clock, tests a
+	// fake one.
+	SweepServerClock = server.Clock
+)
+
+// NewSweepServer validates the config and starts the job workers. The
+// caller owns shutdown: call SweepServer.Shutdown to drain.
+var NewSweepServer = server.New
+
+// Typed sweep-server errors, re-exported so embedders can errors.As on
+// Submit failures the way the HTTP layer maps them to status codes.
+type (
+	SweepQueueFullError    = server.QueueFullError
+	SweepRateLimitedError  = server.RateLimitedError
+	SweepShuttingDownError = server.ShuttingDownError
+	SweepJobTimeoutError   = server.JobTimeoutError
+	SweepBadSpecError      = server.BadSpecError
+)
 
 // Option configures a Run, RunAuto or HostMul call.
 type Option func(*runConfig)

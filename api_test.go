@@ -478,3 +478,61 @@ func TestRunAllByteIdenticalAcrossWorkerCounts(t *testing.T) {
 		}
 	}
 }
+
+func TestSweepServerPublicSurface(t *testing.T) {
+	srv, err := matscale.NewSweepServer(matscale.SweepServerConfig{
+		QueueDepth:    4,
+		MaxConcurrent: 1,
+		SweepWorkers:  1,
+		CacheCells:    1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown()
+
+	spec := &matscale.SweepSpec{
+		Algorithms: []string{"cannon"},
+		Machines:   []string{"ncube2"},
+		Ps:         []int{16},
+		Ns:         []int{16},
+	}
+	job, err := srv.Submit(spec, matscale.Goroutines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-job.Finished()
+	res, err := job.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 1 || res.Ran != 1 {
+		t.Fatalf("cells = %d ran = %d, want 1/1", len(res.Cells), res.Ran)
+	}
+
+	// A second identical submission is served from the cell cache and
+	// must export the same bytes — the library-level statement of the
+	// hit-vs-miss identity docs/SERVER.md promises over HTTP.
+	job2, err := srv.Submit(spec, matscale.Goroutines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-job2.Finished()
+	res2, err := job2.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CSV() != res2.CSV() {
+		t.Fatal("cached sweep CSV differs from cold sweep")
+	}
+	st := srv.Stats()
+	if st.Cache == nil || st.Cache.Hits == 0 {
+		t.Fatalf("no cache hits recorded: %+v", st)
+	}
+
+	// Typed rejections surface through the exported aliases.
+	var bad *matscale.SweepBadSpecError
+	if _, err := srv.Submit(&matscale.SweepSpec{}, matscale.Goroutines); !errors.As(err, &bad) {
+		t.Fatalf("empty spec error = %v, want *SweepBadSpecError", err)
+	}
+}

@@ -41,8 +41,11 @@ const (
 // deterministicPkgs lists the packages whose behavior must be
 // byte-identical run to run: the simulator and fault layer (replays),
 // the algorithm formulations, the experiment drivers that emit tables
-// compared against golden output, and the sweep engine whose merged
-// results must not depend on the host worker count.
+// compared against golden output, the sweep engine whose merged
+// results must not depend on the host worker count, and the sweep
+// server whose cached responses must be byte-identical to cold ones —
+// its only wall-clock access is the injected server.Clock, so job
+// results stay a pure function of (spec, seed, backend).
 var deterministicPkgs = map[string]bool{
 	SimulatorPath:                   true,
 	DesPath:                         true,
@@ -52,6 +55,7 @@ var deterministicPkgs = map[string]bool{
 	MachinePath:                     true,
 	"matscale/internal/experiments": true,
 	"matscale/internal/sweep":       true,
+	"matscale/internal/server":      true,
 }
 
 // chargedPkgs lists the algorithm/collective packages in which all

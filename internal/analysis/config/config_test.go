@@ -17,6 +17,8 @@ func TestClassification(t *testing.T) {
 		{"matscale/internal/core", true, true, false, false},
 		{"matscale/internal/collective", true, true, false, false},
 		{"matscale/internal/experiments", true, false, false, false},
+		{"matscale/internal/sweep", true, false, false, false},
+		{"matscale/internal/server", true, false, false, false},
 		{"matscale/internal/model", false, false, false, true},
 		{"matscale/internal/iso", false, false, false, true},
 		{"matscale/internal/shm", false, false, false, false}, // host compute: real concurrency allowed

@@ -1,0 +1,114 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"sync"
+
+	"matscale/internal/sweep"
+)
+
+// LRUCache is a bounded, concurrency-safe sweep.CellCache with
+// least-recently-used eviction. Entries are keyed by the SHA-256 of
+// the canonical cell key (sweep.Spec.CellKey), so entry memory is
+// independent of how verbose a spec's fault grammar is, and two
+// clients whose different specs expand to the same canonical cell hash
+// the same slot. Because a cell's measurement is a pure function of
+// its canonical key, a hit is byte-identical to the miss-path
+// recomputation — the differential tests in server_test.go prove it at
+// the HTTP layer.
+type LRUCache struct {
+	mu        sync.Mutex
+	capacity  int
+	ll        *list.List // front = most recently used
+	items     map[[sha256.Size]byte]*list.Element
+	hits      int
+	misses    int
+	evictions int
+}
+
+// lruEntry is one cached cell behind its hashed key.
+type lruEntry struct {
+	key [sha256.Size]byte
+	r   sweep.CellResult
+}
+
+// NewLRUCache builds a cache holding at most capacity cells
+// (minimum 1).
+func NewLRUCache(capacity int) *LRUCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &LRUCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    map[[sha256.Size]byte]*list.Element{},
+	}
+}
+
+// Get returns the cached result for a canonical cell key, promoting it
+// to most recently used.
+func (c *LRUCache) Get(key string) (sweep.CellResult, bool) {
+	h := sha256.Sum256([]byte(key))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[h]
+	if !ok {
+		c.misses++
+		return sweep.CellResult{}, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).r, true
+}
+
+// Put stores a measured result, evicting the least recently used entry
+// beyond capacity. Storing an existing key refreshes its recency (the
+// value is necessarily identical: measurements are deterministic in
+// the key).
+func (c *LRUCache) Put(key string, r sweep.CellResult) {
+	h := sha256.Sum256([]byte(key))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[h]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).r = r
+		return
+	}
+	c.items[h] = c.ll.PushFront(&lruEntry{key: h, r: r})
+	if c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+		c.evictions++
+	}
+}
+
+// CacheStats is a point-in-time snapshot of cache traffic.
+type CacheStats struct {
+	Hits      int `json:"hits"`
+	Misses    int `json:"misses"`
+	Evictions int `json:"evictions"`
+	Entries   int `json:"entries"`
+	Capacity  int `json:"capacity"`
+	// HitRate is Hits / (Hits + Misses), 0 before any traffic. It is a
+	// fraction in [0, 1].
+	HitRate float64 `json:"hit_rate"`
+}
+
+// Stats snapshots the cache counters.
+func (c *LRUCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   c.ll.Len(),
+		Capacity:  c.capacity,
+	}
+	if total := st.Hits + st.Misses; total > 0 {
+		st.HitRate = float64(st.Hits) / float64(total)
+	}
+	return st
+}

@@ -1,0 +1,106 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"matscale/internal/sweep"
+)
+
+func cell(n int) sweep.CellResult {
+	return sweep.CellResult{
+		Cell: sweep.Cell{Algorithm: "cannon", Machine: "custom", P: 16, N: n},
+		Tp:   float64(n),
+	}
+}
+
+func TestLRUBasicHitMiss(t *testing.T) {
+	c := NewLRUCache(4)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", cell(1))
+	r, ok := c.Get("a")
+	if !ok || r.Tp != 1 {
+		t.Fatalf("Get(a) = %v, %v", r, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Capacity != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.HitRate != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", st.HitRate)
+	}
+}
+
+func TestLRUEvictsLeastRecentlyUsed(t *testing.T) {
+	c := NewLRUCache(2)
+	c.Put("a", cell(1))
+	c.Put("b", cell(2))
+	if _, ok := c.Get("a"); !ok { // promote a; b is now LRU
+		t.Fatal("a missing")
+	}
+	c.Put("c", cell(3))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted despite recent use")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("c missing")
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLRUPutExistingRefreshes(t *testing.T) {
+	c := NewLRUCache(2)
+	c.Put("a", cell(1))
+	c.Put("b", cell(2))
+	c.Put("a", cell(1)) // refresh, not insert: no eviction
+	if st := c.Stats(); st.Evictions != 0 || st.Entries != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	c.Put("c", cell(3)) // now b is LRU
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+}
+
+func TestLRUMinimumCapacity(t *testing.T) {
+	c := NewLRUCache(0)
+	c.Put("a", cell(1))
+	c.Put("b", cell(2))
+	if st := c.Stats(); st.Entries != 1 || st.Capacity != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLRUConcurrentAccess(t *testing.T) {
+	c := NewLRUCache(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%100)
+				if _, ok := c.Get(key); !ok {
+					c.Put(key, cell(i))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Entries > 64 {
+		t.Fatalf("capacity exceeded: %+v", st)
+	}
+	if st.Hits+st.Misses != 8*200 {
+		// every Get is counted exactly once
+		t.Fatalf("lost traffic: %+v", st)
+	}
+}

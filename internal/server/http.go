@@ -1,0 +1,222 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"matscale/internal/machine"
+	"matscale/internal/sweep"
+)
+
+// SubmitRequest is the POST /v1/sweeps body: the sweep spec plus an
+// optional backend name ("goroutines" or "events"; the server default
+// when empty).
+type SubmitRequest struct {
+	Spec    sweep.Spec `json:"spec"`
+	Backend string     `json:"backend,omitempty"`
+}
+
+// SubmitResponse acknowledges an admitted job.
+type SubmitResponse struct {
+	ID    string `json:"id"`
+	Cells int    `json:"cells"`
+	State string `json:"state"`
+}
+
+// apiError is the JSON error body: a human message plus a
+// machine-readable kind matching the typed rejection.
+type apiError struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind"`
+}
+
+// Handler returns the server's HTTP API:
+//
+//	POST /v1/sweeps              submit a SweepSpec; 202 + job ID
+//	GET  /v1/sweeps/{id}         job status snapshot
+//	GET  /v1/sweeps/{id}/result  completed sweep as JSON (byte-identical
+//	                             for cache hits and misses)
+//	GET  /v1/sweeps/{id}/events  SSE stream of state/progress events
+//	GET  /v1/stats               admission, execution and cache counters
+//	GET  /v1/healthz             liveness probe
+//
+// See docs/SERVER.md for the full protocol.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/sweeps/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleEvents)
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "malformed request body: " + err.Error(), Kind: "bad_request"})
+		return
+	}
+	backend := machine.Backend(-1) // server default
+	if req.Backend != "" {
+		b, err := machine.ParseBackend(req.Backend)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error(), Kind: "bad_request"})
+			return
+		}
+		backend = b
+	}
+	j, err := s.Submit(&req.Spec, backend)
+	if err != nil {
+		writeSubmitError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, SubmitResponse{ID: j.ID(), Cells: j.Total(), State: j.Status().State})
+}
+
+// writeSubmitError maps the typed admission errors onto status codes
+// and kinds.
+func writeSubmitError(w http.ResponseWriter, err error) {
+	var (
+		qf *QueueFullError
+		rl *RateLimitedError
+		sd *ShuttingDownError
+		bs *BadSpecError
+	)
+	switch {
+	case errors.As(err, &qf):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error(), Kind: "queue_full"})
+	case errors.As(err, &rl):
+		sec := int(rl.RetryAfter.Seconds()) + 1
+		w.Header().Set("Retry-After", strconv.Itoa(sec))
+		writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error(), Kind: "rate_limited"})
+	case errors.As(err, &sd):
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error(), Kind: "shutting_down"})
+	case errors.As(err, &bs):
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error(), Kind: "bad_spec"})
+	default:
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error(), Kind: "internal"})
+	}
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job", Kind: "unknown_job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Status())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job", Kind: "unknown_job"})
+		return
+	}
+	st := j.Status()
+	switch st.State {
+	case StateDone.String():
+		res, _ := j.Result()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		// WriteJSON emission is deterministic for a fixed spec, and
+		// cached cells reproduce the miss path's values exactly, so
+		// these bytes are identical whether the job hit or missed.
+		if err := res.WriteJSON(w); err != nil {
+			return // client went away mid-body
+		}
+	case StateFailed.String():
+		code := http.StatusInternalServerError
+		if st.ErrorKind == "job_timeout" {
+			code = http.StatusGatewayTimeout
+		}
+		writeJSON(w, code, apiError{Error: st.Error, Kind: st.ErrorKind})
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusConflict, apiError{Error: "job not finished: " + st.State, Kind: "not_done"})
+	}
+}
+
+// handleEvents streams a job's lifecycle as Server-Sent Events: an
+// initial "state" snapshot, one "progress" event per completed cell
+// (best-effort: a slow client may miss some), and a terminal "done" or
+// "error" event, after which the stream closes.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job", Kind: "unknown_job"})
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: "streaming unsupported by connection", Kind: "internal"})
+		return
+	}
+	events, cancel := j.Subscribe()
+	defer cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+
+	snap := j.Status()
+	writeSSE(w, Event{Type: "state", State: snap.State, Done: snap.Done, Total: snap.Total})
+	fl.Flush()
+
+	for {
+		select {
+		case ev, open := <-events:
+			if !open {
+				writeSSE(w, terminalEvent(j.Status()))
+				fl.Flush()
+				return
+			}
+			writeSSE(w, ev)
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// terminalEvent renders a finished job's closing SSE frame.
+func terminalEvent(st Status) Event {
+	if st.State == StateFailed.String() {
+		return Event{Type: "error", State: st.State, Done: st.Done, Total: st.Total, Error: st.Error}
+	}
+	return Event{Type: "done", State: st.State, Done: st.Done, Total: st.Total}
+}
+
+// writeSSE emits one `event:`/`data:` frame; the data is the Event as
+// JSON.
+func writeSSE(w http.ResponseWriter, ev Event) {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return // Event marshaling cannot fail; keep the stream alive
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+}
+
+// writeJSON emits a JSON response body with the given status.
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return // client went away mid-body
+	}
+}

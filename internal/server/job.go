@@ -1,0 +1,214 @@
+package server
+
+import (
+	"sync"
+
+	"matscale/internal/machine"
+	"matscale/internal/sweep"
+)
+
+// State is a job's position in its lifecycle.
+type State int
+
+const (
+	// StateQueued: admitted, waiting for a worker.
+	StateQueued State = iota
+	// StateRunning: executing on the sweep engine.
+	StateRunning
+	// StateDone: finished with a result.
+	StateDone
+	// StateFailed: finished with an error (sweep failure or timeout).
+	StateFailed
+)
+
+// String renders the state for status payloads.
+func (s State) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateRunning:
+		return "running"
+	case StateDone:
+		return "done"
+	case StateFailed:
+		return "failed"
+	default:
+		return "unknown"
+	}
+}
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s == StateDone || s == StateFailed }
+
+// Event is one message on a job's progress stream; the SSE layer
+// serializes it as the data of an `event: <Type>` frame.
+type Event struct {
+	// Type is "state" (lifecycle transition), "progress" (one cell
+	// finished), "done" or "error" (terminal).
+	Type  string `json:"type"`
+	State string `json:"state,omitempty"`
+	// Done/Total track cell completion; Cell is the completed cell's
+	// key on progress events.
+	Done  int    `json:"done,omitempty"`
+	Total int    `json:"total,omitempty"`
+	Cell  string `json:"cell,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// subBuffer is each subscriber's channel depth. Progress events beyond
+// a slow subscriber's buffer are dropped (the stream is observability,
+// not the source of truth); terminal delivery is by channel close, so
+// it cannot be dropped.
+const subBuffer = 256
+
+// Job is one admitted sweep. All accessors are safe for concurrent
+// use; the server mutates it from the worker that owns it.
+type Job struct {
+	id      string
+	spec    *sweep.Spec
+	backend machine.Backend
+	total   int
+
+	mu       sync.Mutex
+	state    State
+	done     int
+	result   *sweep.Result
+	err      error
+	subs     map[int]chan Event
+	nextSub  int
+	finished chan struct{}
+}
+
+// ID returns the server-assigned job identifier.
+func (j *Job) ID() string { return j.id }
+
+// Total returns the job's grid cell count.
+func (j *Job) Total() int { return j.total }
+
+// Backend returns the simulation engine the job runs on.
+func (j *Job) Backend() machine.Backend { return j.backend }
+
+// Finished returns a channel closed when the job reaches a terminal
+// state.
+func (j *Job) Finished() <-chan struct{} { return j.finished }
+
+// Result returns the sweep result and error of a terminal job; (nil,
+// nil) while it is still queued or running.
+func (j *Job) Result() (*sweep.Result, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.err
+}
+
+// Status is a JSON-able snapshot of a job.
+type Status struct {
+	ID      string `json:"id"`
+	State   string `json:"state"`
+	Done    int    `json:"done"`
+	Total   int    `json:"total"`
+	Backend string `json:"backend"`
+	Error   string `json:"error,omitempty"`
+	// ErrorKind is the machine-readable class of Error ("job_timeout",
+	// "sweep_error"), empty on success.
+	ErrorKind string `json:"error_kind,omitempty"`
+}
+
+// Status snapshots the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:      j.id,
+		State:   j.state.String(),
+		Done:    j.done,
+		Total:   j.total,
+		Backend: j.backend.String(),
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+		st.ErrorKind = errorKind(j.err)
+	}
+	return st
+}
+
+// setState publishes a lifecycle transition.
+func (j *Job) setState(s State) {
+	j.mu.Lock()
+	j.state = s
+	ev := Event{Type: "state", State: s.String(), Done: j.done, Total: j.total}
+	j.broadcastLocked(ev)
+	j.mu.Unlock()
+}
+
+// publishProgress records one completed cell and notifies subscribers.
+func (j *Job) publishProgress(done, total int, r sweep.CellResult) {
+	j.mu.Lock()
+	j.done = done
+	ev := Event{Type: "progress", Done: done, Total: total, Cell: r.Key()}
+	j.broadcastLocked(ev)
+	j.mu.Unlock()
+}
+
+// finish moves the job to its terminal state, closes every subscriber
+// channel (terminal delivery is the close itself — subscribers then
+// read the outcome from Status), and releases Finished waiters.
+func (j *Job) finish(res *sweep.Result, err error) {
+	j.mu.Lock()
+	j.result, j.err = res, err
+	if err != nil {
+		j.state = StateFailed
+	} else {
+		j.state = StateDone
+	}
+	for _, ch := range j.subs { //nodetbreak:ordered — independent subscriber channels
+		close(ch)
+	}
+	j.subs = map[int]chan Event{}
+	j.mu.Unlock()
+	close(j.finished)
+}
+
+// broadcastLocked sends ev to every subscriber without blocking,
+// dropping the event for subscribers whose buffer is full; caller
+// holds j.mu.
+func (j *Job) broadcastLocked(ev Event) {
+	for _, ch := range j.subs { //nodetbreak:ordered — independent subscriber channels
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// Subscribe attaches a progress listener. The channel receives state
+// and progress events and is closed when the job finishes (immediately
+// for an already-terminal job); the returned cancel detaches early.
+func (j *Job) Subscribe() (<-chan Event, func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ch := make(chan Event, subBuffer)
+	if j.state.Terminal() {
+		close(ch)
+		return ch, func() {}
+	}
+	id := j.nextSub
+	j.nextSub++
+	j.subs[id] = ch
+	return ch, func() {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		if _, ok := j.subs[id]; ok {
+			delete(j.subs, id)
+		}
+	}
+}
+
+// errorKind classifies a job error for machine-readable payloads.
+func errorKind(err error) string {
+	switch err.(type) {
+	case *JobTimeoutError:
+		return "job_timeout"
+	default:
+		return "sweep_error"
+	}
+}

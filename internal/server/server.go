@@ -1,0 +1,442 @@
+// Package server is the sweep service behind cmd/matscale-server: an
+// embeddable job-queue engine that admits SweepSpecs from many
+// concurrent clients, executes them on the internal/sweep worker pool,
+// streams per-cell progress to subscribers, and memoizes completed
+// cells in a shared cache so overlapping sweeps hit byte-identical
+// results instead of re-simulating.
+//
+// The package is wall-clock-free by construction: it sits under the
+// repo's determinism contract (docs/ANALYSIS.md), so every time read —
+// rate-limiter refills, per-job timeouts — flows through the injected
+// Clock interface. With a nil Clock the server still serves jobs; only
+// the features that *are* time (rate limiting, timeouts) are disabled.
+// That keeps job results a pure function of (spec, seed, backend) and
+// makes the timeout and admission paths deterministically testable
+// with a fake clock. See docs/SERVER.md for the HTTP API and the
+// admission/backpressure semantics.
+package server
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"matscale/internal/machine"
+	"matscale/internal/sweep"
+)
+
+// Clock is the server's only source of wall time. The production
+// implementation (defined by the cmd binaries, outside the
+// determinism-contract packages) wraps time.Now and time.After; tests
+// inject manual clocks to drive rate-limiter refills and job timeouts
+// deterministically.
+type Clock interface {
+	// Now returns the current wall time; it meters rate-limiter refills.
+	Now() time.Time
+	// After returns a channel that delivers one value after d; it arms
+	// per-job timeouts.
+	After(d time.Duration) <-chan time.Time
+}
+
+// Default admission-control constants, applied by New when the Config
+// leaves the field zero.
+const (
+	DefaultQueueDepth    = 64
+	DefaultMaxConcurrent = 2
+	DefaultCacheCells    = 1 << 16
+	DefaultRetainJobs    = 4096
+)
+
+// Config parameterizes a Server. The zero value is usable: defaults
+// fill in, and the time-dependent features stay off until a Clock is
+// supplied.
+type Config struct {
+	// QueueDepth bounds the number of admitted-but-not-yet-running
+	// jobs; a submit beyond it is rejected with *QueueFullError
+	// (0: DefaultQueueDepth).
+	QueueDepth int
+	// MaxConcurrent is the number of jobs executing simultaneously,
+	// each on its own sweep worker pool (0: DefaultMaxConcurrent).
+	MaxConcurrent int
+	// SweepWorkers is the host worker count each running job fans its
+	// cells over (≤ 0: all CPUs — note total host goroutines scale as
+	// MaxConcurrent × SweepWorkers).
+	SweepWorkers int
+	// RatePerSec, when positive, token-bucket rate-limits admission;
+	// submits beyond the rate are rejected with *RateLimitedError.
+	// Requires a Clock.
+	RatePerSec float64
+	// Burst is the token-bucket depth (0: max(1, ceil(RatePerSec))).
+	Burst int
+	// JobTimeout, when positive, bounds each job's wall-clock run; a
+	// job exceeding it aborts at the next cell boundary and fails with
+	// *JobTimeoutError. Requires a Clock.
+	JobTimeout time.Duration
+	// CacheCells sizes the built-in LRU cell cache (0:
+	// DefaultCacheCells; < 0: caching disabled). Ignored when Cache is
+	// set.
+	CacheCells int
+	// Cache, when non-nil, replaces the built-in LRU — e.g. to share
+	// one cache across servers. Cache stats are then absent from
+	// Stats.
+	Cache sweep.CellCache
+	// Backend is the default simulation engine for jobs that don't
+	// request one.
+	Backend machine.Backend
+	// RetainJobs bounds how many terminal jobs stay queryable; the
+	// oldest-finished are evicted beyond it (0: DefaultRetainJobs).
+	RetainJobs int
+	// Clock injects wall time; nil disables RatePerSec and JobTimeout.
+	Clock Clock
+}
+
+// Typed admission and execution errors. The HTTP layer maps each to a
+// status code and machine-readable kind; embedded callers dispatch
+// with errors.As.
+type (
+	// QueueFullError rejects a submit when the job queue is at
+	// capacity.
+	QueueFullError struct{ Depth int }
+	// RateLimitedError rejects a submit when the token bucket is
+	// empty; RetryAfter estimates when a token will be available.
+	RateLimitedError struct{ RetryAfter time.Duration }
+	// ShuttingDownError rejects a submit after Shutdown began.
+	ShuttingDownError struct{}
+	// BadSpecError rejects a submit whose spec fails validation.
+	BadSpecError struct{ Err error }
+	// JobTimeoutError fails a job that exceeded Config.JobTimeout.
+	JobTimeoutError struct{ Timeout time.Duration }
+)
+
+func (e *QueueFullError) Error() string {
+	return fmt.Sprintf("server: job queue full (depth %d)", e.Depth)
+}
+
+func (e *RateLimitedError) Error() string {
+	return fmt.Sprintf("server: admission rate limit exceeded (retry in %v)", e.RetryAfter)
+}
+
+func (e *ShuttingDownError) Error() string { return "server: shutting down" }
+
+func (e *BadSpecError) Error() string { return "server: invalid spec: " + e.Err.Error() }
+
+func (e *BadSpecError) Unwrap() error { return e.Err }
+
+func (e *JobTimeoutError) Error() string {
+	return fmt.Sprintf("server: job exceeded its %v timeout", e.Timeout)
+}
+
+// Server is the sweep service engine. Construct with New; all methods
+// are safe for concurrent use.
+type Server struct {
+	cfg   Config
+	cache sweep.CellCache
+	lru   *LRUCache // nil when Config.Cache replaced the built-in
+
+	mu         sync.Mutex
+	draining   bool
+	queue      chan *Job
+	jobs       map[string]*Job
+	doneOrder  []string // terminal job IDs, oldest first, for retention eviction
+	nextID     int
+	tokens     float64
+	lastRefill time.Time
+	refilled   bool
+
+	running     int
+	submitted   int
+	completed   int
+	failed      int
+	rejQueue    int
+	rejRate     int
+	rejSpec     int
+	cellsServed int
+
+	wg sync.WaitGroup
+}
+
+// New builds a Server, applies Config defaults, and starts its
+// MaxConcurrent worker goroutines. It fails when a time-dependent
+// feature is configured without a Clock.
+func New(cfg Config) (*Server, error) {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = DefaultMaxConcurrent
+	}
+	if cfg.RetainJobs <= 0 {
+		cfg.RetainJobs = DefaultRetainJobs
+	}
+	if cfg.Clock == nil {
+		if cfg.RatePerSec > 0 {
+			return nil, fmt.Errorf("server: RatePerSec requires a Clock")
+		}
+		if cfg.JobTimeout > 0 {
+			return nil, fmt.Errorf("server: JobTimeout requires a Clock")
+		}
+	}
+	if cfg.RatePerSec > 0 && cfg.Burst <= 0 {
+		cfg.Burst = int(cfg.RatePerSec)
+		if float64(cfg.Burst) < cfg.RatePerSec {
+			cfg.Burst++
+		}
+		if cfg.Burst < 1 {
+			cfg.Burst = 1
+		}
+	}
+	if !cfg.Backend.Known() {
+		return nil, fmt.Errorf("server: unknown default backend %v", cfg.Backend)
+	}
+	s := &Server{
+		cfg:   cfg,
+		queue: make(chan *Job, cfg.QueueDepth),
+		jobs:  map[string]*Job{},
+	}
+	if cfg.Cache != nil {
+		s.cache = cfg.Cache
+	} else if cfg.CacheCells >= 0 {
+		n := cfg.CacheCells
+		if n == 0 {
+			n = DefaultCacheCells
+		}
+		s.lru = NewLRUCache(n)
+		s.cache = s.lru
+	}
+	if cfg.RatePerSec > 0 {
+		s.tokens = float64(cfg.Burst)
+	}
+	s.wg.Add(cfg.MaxConcurrent)
+	for i := 0; i < cfg.MaxConcurrent; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Submit validates and admits one sweep job. backend < 0 means the
+// server's default. The returned Job is queued (or already running by
+// the time the caller looks); rejections are the typed errors above
+// and never block.
+func (s *Server) Submit(spec *sweep.Spec, backend machine.Backend) (*Job, error) {
+	if backend < 0 {
+		backend = s.cfg.Backend
+	}
+	if !backend.Known() {
+		return nil, &BadSpecError{Err: fmt.Errorf("unknown backend %v", backend)}
+	}
+	sp := *spec // shallow copy: the server owns its spec value
+	cells, err := sp.Cells()
+	if err != nil {
+		s.mu.Lock()
+		s.rejSpec++
+		s.mu.Unlock()
+		return nil, &BadSpecError{Err: err}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, &ShuttingDownError{}
+	}
+	if err := s.admitLocked(); err != nil {
+		s.rejRate++
+		return nil, err
+	}
+	s.nextID++
+	j := &Job{
+		id:       "job-" + strconv.Itoa(s.nextID),
+		spec:     &sp,
+		backend:  backend,
+		total:    len(cells),
+		state:    StateQueued,
+		finished: make(chan struct{}),
+		subs:     map[int]chan Event{},
+	}
+	select {
+	case s.queue <- j:
+		s.jobs[j.id] = j
+		s.submitted++
+		return j, nil
+	default:
+		s.rejQueue++
+		return nil, &QueueFullError{Depth: cap(s.queue)}
+	}
+}
+
+// admitLocked refills and drains the token bucket; caller holds s.mu.
+func (s *Server) admitLocked() error {
+	if s.cfg.RatePerSec <= 0 {
+		return nil
+	}
+	now := s.cfg.Clock.Now()
+	if s.refilled {
+		s.tokens += now.Sub(s.lastRefill).Seconds() * s.cfg.RatePerSec
+		if burst := float64(s.cfg.Burst); s.tokens > burst {
+			s.tokens = burst
+		}
+	}
+	s.lastRefill, s.refilled = now, true
+	if s.tokens < 1 {
+		wait := time.Duration((1 - s.tokens) / s.cfg.RatePerSec * float64(time.Second))
+		return &RateLimitedError{RetryAfter: wait}
+	}
+	s.tokens--
+	return nil
+}
+
+// Job returns a submitted job by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Shutdown stops admitting jobs (submits return *ShuttingDownError)
+// and blocks until every already-admitted job — running and queued —
+// has drained. Safe to call more than once.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// worker drains the job queue until Shutdown closes it.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job on the sweep engine, publishing progress and
+// enforcing the per-job timeout. The timeout aborts at the next cell
+// boundary (cells are the cancel granularity), so the worker is freed
+// after at most one in-flight cell finishes.
+func (s *Server) runJob(j *Job) {
+	s.mu.Lock()
+	s.running++
+	s.mu.Unlock()
+	j.setState(StateRunning)
+
+	opts := sweep.Options{
+		Workers: s.cfg.SweepWorkers,
+		Backend: j.backend,
+		Cache:   s.cache,
+		Progress: func(done, total int, r sweep.CellResult) {
+			j.publishProgress(done, total, r)
+		},
+	}
+	var cancel chan struct{}
+	var timeout <-chan time.Time
+	if s.cfg.JobTimeout > 0 {
+		cancel = make(chan struct{})
+		opts.Cancel = cancel
+		timeout = s.cfg.Clock.After(s.cfg.JobTimeout)
+	}
+
+	type outcome struct {
+		res *sweep.Result
+		err error
+	}
+	resCh := make(chan outcome, 1)
+	go func() {
+		res, err := sweep.Run(j.spec, opts)
+		resCh <- outcome{res, err}
+	}()
+
+	var out outcome
+	if timeout == nil {
+		out = <-resCh
+	} else {
+		select {
+		case out = <-resCh:
+		case <-timeout:
+			close(cancel)
+			out = <-resCh // at most one cell still in flight
+			if out.err != nil {
+				out = outcome{nil, &JobTimeoutError{Timeout: s.cfg.JobTimeout}}
+			}
+		}
+	}
+
+	s.mu.Lock()
+	s.running--
+	if out.err != nil {
+		s.failed++
+	} else {
+		s.completed++
+		s.cellsServed += j.total
+	}
+	s.mu.Unlock()
+	j.finish(out.res, out.err)
+	s.retire(j.id)
+}
+
+// retire records a terminal job for retention accounting and evicts
+// the oldest terminal jobs beyond Config.RetainJobs.
+func (s *Server) retire(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.doneOrder = append(s.doneOrder, id)
+	for len(s.doneOrder) > s.cfg.RetainJobs {
+		delete(s.jobs, s.doneOrder[0])
+		s.doneOrder = s.doneOrder[1:]
+	}
+}
+
+// Stats is a point-in-time snapshot of the server's admission,
+// execution and cache counters.
+type Stats struct {
+	// QueueDepth is the configured bound; Queued and Running are the
+	// jobs currently waiting and executing.
+	QueueDepth int `json:"queue_depth"`
+	Queued     int `json:"queued"`
+	Running    int `json:"running"`
+	// Submitted counts admissions; Completed/Failed are terminal
+	// outcomes; the Rejected* counters split the refusals by cause.
+	Submitted     int `json:"submitted"`
+	Completed     int `json:"completed"`
+	Failed        int `json:"failed"`
+	RejectedQueue int `json:"rejected_queue_full"`
+	RejectedRate  int `json:"rejected_rate_limited"`
+	RejectedSpec  int `json:"rejected_bad_spec"`
+	// CellsServed totals the grid cells of completed jobs (hits and
+	// misses alike).
+	CellsServed int `json:"cells_served"`
+	// Jobs is the number of jobs currently queryable by ID.
+	Jobs     int  `json:"jobs"`
+	Draining bool `json:"draining"`
+	// Cache reports the built-in LRU (absent when a custom Cache or
+	// CacheCells < 0 is configured).
+	Cache *CacheStats `json:"cache,omitempty"`
+}
+
+// Stats snapshots the server's counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	st := Stats{
+		QueueDepth:    cap(s.queue),
+		Queued:        len(s.queue),
+		Running:       s.running,
+		Submitted:     s.submitted,
+		Completed:     s.completed,
+		Failed:        s.failed,
+		RejectedQueue: s.rejQueue,
+		RejectedRate:  s.rejRate,
+		RejectedSpec:  s.rejSpec,
+		CellsServed:   s.cellsServed,
+		Jobs:          len(s.jobs),
+		Draining:      s.draining,
+	}
+	s.mu.Unlock()
+	if s.lru != nil {
+		cs := s.lru.Stats()
+		st.Cache = &cs
+	}
+	return st
+}

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -133,7 +134,37 @@ type Options struct {
 	// (goroutines by default). Like Workers it never changes the
 	// Result: the backends are byte-equivalent for a fixed spec.
 	Backend machine.Backend
+	// Cache, when non-nil, memoizes measured cell results across
+	// sweeps keyed by Spec.CellKey. Because a cell's measurement is a
+	// pure function of its canonical key, a hit returns the identical
+	// CellResult the miss path would compute, so cached and uncached
+	// sweeps of the same spec render byte-identically — the contract
+	// matscale-server's cross-client cache relies on (docs/SERVER.md).
+	Cache CellCache
+	// Cancel, when non-nil, aborts the sweep when closed: cells not yet
+	// started return ErrCanceled and Run reports it. Cells already
+	// executing run to completion (a cell is the abort granularity), so
+	// cancellation never tears a simulation mid-flight.
+	Cancel <-chan struct{}
 }
+
+// CellCache memoizes measured cell results across sweep runs. Get
+// returns the cached result for a canonical cell key (see
+// Spec.CellKey) and whether it was present; Put stores a freshly
+// measured result. Implementations must be safe for concurrent use:
+// the worker pool calls them from every worker, and a server shares
+// one cache across jobs. Both hit and miss paths yield identical
+// bytes for identical keys, so a cache can only change wall-clock
+// time, never a Result.
+type CellCache interface {
+	Get(key string) (CellResult, bool)
+	Put(key string, r CellResult)
+}
+
+// ErrCanceled is the error Run returns when Options.Cancel closes
+// before the grid finishes; errors.Is recognizes it through any
+// wrapping.
+var ErrCanceled = errors.New("sweep: canceled")
 
 // algorithms is the formulation registry of the grid layer, keyed by
 // the names the CLI uses.
@@ -300,6 +331,31 @@ func (s *Spec) scenarios() ([]string, map[string]*faults.Config, error) {
 	return keys, cfgs, nil
 }
 
+// CellKey renders the canonical identity of one measured grid cell:
+// every input that can change the cell's measurement — formulation,
+// machine preset, the effective ts/tw constants, p, n, the
+// canonicalized fault scenario, the base matrix seed, and the
+// simulation backend. Two cells with equal keys produce byte-identical
+// CellResults no matter which spec, sweep or process computed them,
+// which is what makes the key safe as a cross-client CellCache key.
+// c.Faults must already be canonical (cells from Spec.Cells are); the
+// effective ts/tw folding means specs that differ only in constants a
+// preset ignores still share keys. The backend is part of the key out
+// of caution — the backends are byte-equivalent (docs/BACKENDS.md), so
+// this only costs duplicate entries, never a wrong hit.
+func (s *Spec) CellKey(c Cell, backend machine.Backend) string {
+	ts, tw := presetCost(c.Machine, s.Ts, s.Tw)
+	return strings.Join([]string{
+		"cell", "v1",
+		c.Algorithm, c.Machine,
+		"ts=" + csvFloat(ts), "tw=" + csvFloat(tw),
+		"p=" + strconv.Itoa(c.P), "n=" + strconv.Itoa(c.N),
+		"f=" + c.Faults,
+		"seed=" + strconv.FormatUint(s.Seed, 10),
+		"backend=" + backend.String(),
+	}, "|")
+}
+
 // predKey identifies one closed-form prediction.
 type predKey struct {
 	alg, mach string
@@ -383,20 +439,44 @@ func Run(s *Spec, opt Options) (*Result, error) {
 	}
 
 	// Fan out. Each worker writes only its own cell's slot; progress is
-	// the one serialized cross-worker channel.
+	// the one serialized cross-worker channel. Cells are the cancel and
+	// cache granularity: a canceled sweep aborts between cells, and a
+	// cache hit replaces exactly one cell's simulation.
 	var mu sync.Mutex
 	done := 0
-	err = ForEach(opt.Workers, len(cells), func(i int) error {
-		c := cells[i]
-		r := runCell(s, c, cfgs[c.Faults], mats[c.N], opt.Backend)
-		r.PredictedTp = preds[i]
-		res.Cells[i] = r
+	report := func(r CellResult) {
 		if opt.Progress != nil {
 			mu.Lock()
 			done++
 			opt.Progress(done, len(cells), r)
 			mu.Unlock()
 		}
+	}
+	err = ForEach(opt.Workers, len(cells), func(i int) error {
+		if opt.Cancel != nil {
+			select {
+			case <-opt.Cancel:
+				return ErrCanceled
+			default:
+			}
+		}
+		c := cells[i]
+		key := ""
+		if opt.Cache != nil {
+			key = s.CellKey(c, opt.Backend)
+			if r, ok := opt.Cache.Get(key); ok {
+				res.Cells[i] = r
+				report(r)
+				return nil
+			}
+		}
+		r := runCell(s, c, cfgs[c.Faults], mats[c.N], opt.Backend)
+		r.PredictedTp = preds[i]
+		if opt.Cache != nil {
+			opt.Cache.Put(key, r)
+		}
+		res.Cells[i] = r
+		report(r)
 		return nil
 	})
 	if err != nil {

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"encoding/json"
+	"errors"
 	"runtime"
 	"strings"
 	"sync"
@@ -279,5 +280,151 @@ func TestAlgorithmNamesSorted(t *testing.T) {
 		if names[i-1] >= names[i] {
 			t.Fatalf("names not sorted: %v", names)
 		}
+	}
+}
+
+// countingCache is a CellCache that tracks hit/miss traffic for tests.
+type countingCache struct {
+	mu           sync.Mutex
+	m            map[string]CellResult
+	hits, misses int
+}
+
+func newCountingCache() *countingCache {
+	return &countingCache{m: map[string]CellResult{}}
+}
+
+func (c *countingCache) Get(key string) (CellResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.m[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return r, ok
+}
+
+func (c *countingCache) Put(key string, r CellResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = r
+}
+
+func TestCellKeyCanonicalization(t *testing.T) {
+	s := gridSpec()
+	cells, err := s.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distinct cells get distinct keys.
+	seen := map[string]Cell{}
+	for _, c := range cells {
+		k := s.CellKey(c, 0)
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("cells %v and %v share key %q", prev, c, k)
+		}
+		seen[k] = c
+	}
+	// Preset machines fold their own constants: specs differing only in
+	// the (ignored) custom Ts/Tw share keys.
+	a := &Spec{Algorithms: []string{"gk"}, Machines: []string{"ncube2"}, Ps: []int{16}, Ns: []int{16}, Ts: 1}
+	b := &Spec{Algorithms: []string{"gk"}, Machines: []string{"ncube2"}, Ps: []int{16}, Ns: []int{16}, Ts: 99}
+	cell := Cell{Algorithm: "gk", Machine: "ncube2", P: 16, N: 16}
+	if a.CellKey(cell, 0) != b.CellKey(cell, 0) {
+		t.Fatalf("preset machine keys fragment on ignored constants:\n%s\n%s", a.CellKey(cell, 0), b.CellKey(cell, 0))
+	}
+	// ...but custom machines do key on them.
+	a.Machines, b.Machines = []string{"custom"}, []string{"custom"}
+	cell.Machine = "custom"
+	if a.CellKey(cell, 0) == b.CellKey(cell, 0) {
+		t.Fatal("custom machine keys must include ts/tw")
+	}
+	// Seed and backend are part of the key.
+	c := *a
+	c.Seed = 7
+	if a.CellKey(cell, 0) == c.CellKey(cell, 0) {
+		t.Fatal("seed not in key")
+	}
+	if a.CellKey(cell, 0) == a.CellKey(cell, 1) {
+		t.Fatal("backend not in key")
+	}
+}
+
+func TestCacheHitsAreByteIdenticalToMisses(t *testing.T) {
+	s := gridSpec()
+	cold, err := Run(s, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := newCountingCache()
+	miss, err := Run(s, Options{Workers: 2, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.hits != 0 || cache.misses != len(miss.Cells) {
+		t.Fatalf("first cached run: %d hits, %d misses, want 0/%d", cache.hits, cache.misses, len(miss.Cells))
+	}
+	hit, err := Run(s, Options{Workers: 2, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.hits != len(hit.Cells) {
+		t.Fatalf("second cached run: %d hits, want %d", cache.hits, len(hit.Cells))
+	}
+	for name, r := range map[string]*Result{"uncached": cold, "miss": miss, "hit": hit} { //nodetbreak:ordered — test-only comparison
+		if r.CSV() != cold.CSV() {
+			t.Fatalf("%s CSV differs from uncached run", name)
+		}
+		var a, b strings.Builder
+		if err := r.WriteJSON(&a); err != nil {
+			t.Fatal(err)
+		}
+		if err := cold.WriteJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		if a.String() != b.String() {
+			t.Fatalf("%s JSON differs from uncached run", name)
+		}
+	}
+}
+
+func TestCacheSharedAcrossOverlappingSpecs(t *testing.T) {
+	cache := newCountingCache()
+	s := gridSpec()
+	if _, err := Run(s, Options{Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	// A different spec whose grid overlaps in (cannon, custom, 16, 16)
+	// hits the shared cells and misses only its new ones.
+	o := &Spec{
+		Algorithms: []string{"cannon"},
+		Machines:   []string{"custom"},
+		Ts:         17, Tw: 3,
+		Ps:   []int{16},
+		Ns:   []int{16, 64},
+		Seed: 1,
+	}
+	cache.hits, cache.misses = 0, 0
+	if _, err := Run(o, Options{Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	if cache.hits != 1 || cache.misses != 1 {
+		t.Fatalf("overlapping spec: %d hits, %d misses, want 1/1", cache.hits, cache.misses)
+	}
+}
+
+func TestCancelAbortsBetweenCells(t *testing.T) {
+	s := gridSpec()
+	cancel := make(chan struct{})
+	close(cancel)
+	_, err := Run(s, Options{Workers: 2, Cancel: cancel})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled sweep returned %v, want ErrCanceled", err)
+	}
+	// A nil Cancel channel never aborts.
+	if _, err := Run(s, Options{Workers: 2}); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -7,6 +7,12 @@
 //
 //	go test -bench=. ./... | go run ./scripts/bench2json -out BENCH_pr.json
 //	go run ./scripts/bench2json -in bench.txt -out BENCH_pr.json
+//	go run ./scripts/bench2json -in new.txt -merge BENCH_pr.json -out BENCH_pr.json
+//
+// -merge folds the new run into an existing JSON report: benchmarks
+// from packages the new input re-measures are replaced, everything else
+// is kept, so one job can refresh its slice of BENCH_pr.json without
+// clobbering the others'.
 package main
 
 import (
@@ -97,19 +103,67 @@ func parseBenchLine(line string) (Benchmark, error) {
 	return b, nil
 }
 
-func run(in io.Reader, out io.Writer) error {
+// merge folds the new run into a prior report: packages the new run
+// re-measures replace their old benchmarks wholesale (stale lines from
+// a renamed or deleted benchmark must not survive), packages it does
+// not touch keep theirs, and the old host metadata fills any gap in the
+// new run's (a file-driven run has no goos/goarch/cpu header).
+func merge(old, cur *Report) *Report {
+	measured := map[string]bool{}
+	for _, b := range cur.Benchmarks {
+		measured[b.Package] = true
+	}
+	out := &Report{Goos: cur.Goos, Goarch: cur.Goarch, CPU: cur.CPU, Benchmarks: []Benchmark{}}
+	if out.Goos == "" {
+		out.Goos = old.Goos
+	}
+	if out.Goarch == "" {
+		out.Goarch = old.Goarch
+	}
+	if out.CPU == "" {
+		out.CPU = old.CPU
+	}
+	for _, b := range old.Benchmarks {
+		if !measured[b.Package] {
+			out.Benchmarks = append(out.Benchmarks, b)
+		}
+	}
+	out.Benchmarks = append(out.Benchmarks, cur.Benchmarks...)
+	return out
+}
+
+func run(in io.Reader, out io.Writer, old *Report) error {
 	rep, err := parseBench(in)
 	if err != nil {
 		return err
+	}
+	if old != nil {
+		rep = merge(old, rep)
 	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
 }
 
+// loadReport reads a prior JSON report for -merge. It must run before
+// the -out file is created: -merge and -out commonly name the same
+// file, and os.Create truncates.
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench2json: -merge: %w", err)
+	}
+	rep := &Report{}
+	if err := json.Unmarshal(data, rep); err != nil {
+		return nil, fmt.Errorf("bench2json: -merge %s: %w", path, err)
+	}
+	return rep, nil
+}
+
 func main() {
 	inFile := flag.String("in", "", "bench output file (default stdin)")
 	outFile := flag.String("out", "", "JSON output file (default stdout)")
+	mergeFile := flag.String("merge", "", "existing JSON report to fold the new run into")
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
@@ -122,6 +176,14 @@ func main() {
 		defer f.Close()
 		in = f
 	}
+	var old *Report
+	if *mergeFile != "" {
+		var err error
+		if old, err = loadReport(*mergeFile); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	var out io.Writer = os.Stdout
 	if *outFile != "" {
 		f, err := os.Create(*outFile)
@@ -132,7 +194,7 @@ func main() {
 		defer f.Close()
 		out = f
 	}
-	if err := run(in, out); err != nil {
+	if err := run(in, out, old); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

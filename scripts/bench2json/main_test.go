@@ -60,7 +60,7 @@ func TestParseBenchRejectsMalformed(t *testing.T) {
 
 func TestRunEmitsValidJSON(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(strings.NewReader(sample), &out); err != nil {
+	if err := run(strings.NewReader(sample), &out, nil); err != nil {
 		t.Fatal(err)
 	}
 	var rep Report
@@ -69,5 +69,82 @@ func TestRunEmitsValidJSON(t *testing.T) {
 	}
 	if len(rep.Benchmarks) != 3 {
 		t.Fatalf("round-tripped %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+}
+
+func TestMergeReplacesMeasuredPackagesOnly(t *testing.T) {
+	old := &Report{
+		Goos: "linux", Goarch: "amd64", CPU: "old cpu",
+		Benchmarks: []Benchmark{
+			{Package: "matscale/internal/shm", Name: "BenchmarkMul/n=256-16", Iterations: 3,
+				Metrics: map[string]float64{"ns/op": 1}},
+			{Package: "matscale/internal/shm", Name: "BenchmarkGone", Iterations: 1,
+				Metrics: map[string]float64{"ns/op": 2}},
+			{Package: "matscale/internal/simulator", Name: "BenchmarkRing-16", Iterations: 6,
+				Metrics: map[string]float64{"ns/op": 3}},
+		},
+	}
+	fresh := "pkg: matscale/internal/shm\nBenchmarkMul/n=256-16 5 99 ns/op"
+	var out bytes.Buffer
+	if err := run(strings.NewReader(fresh), &out, old); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	// The re-measured package is replaced wholesale (BenchmarkGone does
+	// not survive); the untouched package is kept; host metadata is
+	// inherited when the new input has none.
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("merged %d benchmarks, want 2: %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+	for _, b := range rep.Benchmarks {
+		switch b.Package {
+		case "matscale/internal/shm":
+			if b.Name != "BenchmarkMul/n=256-16" || b.Metrics["ns/op"] != 99 {
+				t.Errorf("re-measured package not replaced: %+v", b)
+			}
+		case "matscale/internal/simulator":
+			if b.Metrics["ns/op"] != 3 {
+				t.Errorf("untouched package altered: %+v", b)
+			}
+		default:
+			t.Errorf("unexpected package %q", b.Package)
+		}
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.CPU != "old cpu" {
+		t.Errorf("host metadata not inherited: %+v", rep)
+	}
+}
+
+func TestMergePrefersNewMetadata(t *testing.T) {
+	old := &Report{Goos: "plan9", CPU: "old cpu"}
+	got := merge(old, &Report{Goos: "linux", CPU: ""})
+	if got.Goos != "linux" || got.CPU != "old cpu" {
+		t.Errorf("metadata merge = %+v", got)
+	}
+}
+
+func TestLoadtestBenchLineParses(t *testing.T) {
+	// The exact shape cmd/matscale-loadtest -bench emits; a format
+	// drift on either side must fail this differential check.
+	line := "pkg: matscale/cmd/matscale-loadtest\n" +
+		"BenchmarkServerLoadtest/clients=1000/overlap=0.50 1 4671104345 ns/op " +
+		"1712.7 cells/s 0.4960 cache_hit_rate 4.5418 p99_s 0 errors"
+	rep, err := parseBench(strings.NewReader(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 {
+		t.Fatalf("parsed %d benchmarks, want 1", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[0]
+	if b.Package != "matscale/cmd/matscale-loadtest" {
+		t.Errorf("package = %q", b.Package)
+	}
+	if b.Metrics["cells/s"] != 1712.7 || b.Metrics["cache_hit_rate"] != 0.496 ||
+		b.Metrics["p99_s"] != 4.5418 || b.Metrics["errors"] != 0 {
+		t.Errorf("metrics misparsed: %+v", b.Metrics)
 	}
 }
