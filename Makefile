@@ -61,9 +61,9 @@ vet-tool:
 	@$(GO) build -o bin/matscale-vet ./cmd/matscale-vet 1>&2
 	@echo $(CURDIR)/bin/matscale-vet
 
-# Run the determinism/cost-model analyzers over the whole module.
-vet:
-	$(GO) build -o bin/matscale-vet ./cmd/matscale-vet
+# Run the determinism/cost-model analyzers over the whole module,
+# reusing the binary vet-tool just built.
+vet: vet-tool
 	$(GO) vet -vettool=$(CURDIR)/bin/matscale-vet ./...
 
 # The CI fuzz targets, briefly.

@@ -7,7 +7,7 @@
 //	go vet -vettool=$PWD/bin/matscale-vet ./...
 //
 // or simply `make vet`. Analyzers: accretion, clockguard, costcharge,
-// nodetbreak, seedflow.
+// nodetbreak, ownflow, seedflow, unitflow.
 package main
 
 import (

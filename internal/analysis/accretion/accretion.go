@@ -23,7 +23,9 @@ const Doc = `require cost-model units in doc comments of exported float64 API
 Exported functions and methods returning float64 in the cost-model
 packages must carry a doc comment naming the quantity's units: ts, tw,
 flops, words, time, cost, efficiency, speedup, or another term from the
-paper's vocabulary. New API accreted without this is flagged.`
+paper's vocabulary. New API accreted without this is flagged. A
+reviewed exception (a float64 that genuinely carries no cost-model
+unit) is annotated '//accretion:reviewed'.`
 
 // Analyzer is the accretion analyzer.
 var Analyzer = &analysis.Analyzer{
@@ -31,6 +33,10 @@ var Analyzer = &analysis.Analyzer{
 	Doc:  Doc,
 	Run:  run,
 }
+
+// reviewedMarker suppresses a diagnostic on its line (or the line
+// below it), asserting the undocumented float64 was reviewed.
+const reviewedMarker = "//accretion:reviewed"
 
 func run(pass *analysis.Pass) (interface{}, error) {
 	if !config.CostDoc(pass.Pkg.Path()) {
@@ -40,9 +46,13 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		if config.TestFile(pass.Fset, f.Pos()) {
 			continue
 		}
+		reviewed := config.MarkedLines(pass.Fset, f, reviewedMarker)
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || !exportedAPI(fd) || !returnsFloat(pass, fd) {
+				continue
+			}
+			if config.SuppressedAt(reviewed, pass.Fset, fd.Name.Pos()) {
 				continue
 			}
 			doc := fd.Doc.Text()

@@ -42,6 +42,15 @@ func helper() float64 {
 	return 1
 }
 
+func Opaque(n int) float64 { //accretion:reviewed raw scratch value, carries no cost-model unit
+	return float64(n)
+}
+
+//accretion:reviewed progress fraction for the UI, not a cost-model quantity
+func Fraction(n int) float64 {
+	return float64(n) / 100
+}
+
 type internalParams struct{ n int }
 
 // Value returns a number; the receiver type is unexported, so this is

@@ -24,7 +24,8 @@ const Doc = `forbid mutation of cost constants and measured results outside thei
 machine.Machine's cost fields and the simulator's result/metrics types
 may only be written inside internal/machine and internal/simulator.
 Other packages read them; configured variants are derived with the
-Machine.With* helpers, never by assigning fields in place.`
+Machine.With* helpers, never by assigning fields in place. A reviewed
+exception is annotated '//clockguard:reviewed'.`
 
 // Analyzer is the clockguard analyzer.
 var Analyzer = &analysis.Analyzer{
@@ -32,6 +33,10 @@ var Analyzer = &analysis.Analyzer{
 	Doc:  Doc,
 	Run:  run,
 }
+
+// reviewedMarker suppresses a diagnostic on its line (or the line
+// below it), asserting the guarded write was reviewed.
+const reviewedMarker = "//clockguard:reviewed"
 
 func run(pass *analysis.Pass) (interface{}, error) {
 	if config.ClockOwner(pass.Pkg.Path()) {
@@ -41,14 +46,15 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		if config.TestFile(pass.Fset, f.Pos()) {
 			continue
 		}
+		reviewed := config.MarkedLines(pass.Fset, f, reviewedMarker)
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.AssignStmt:
 				for _, lhs := range n.Lhs {
-					checkWrite(pass, lhs)
+					checkWrite(pass, reviewed, lhs)
 				}
 			case *ast.IncDecStmt:
-				checkWrite(pass, n.X)
+				checkWrite(pass, reviewed, n.X)
 			}
 			return true
 		})
@@ -57,7 +63,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 }
 
 // checkWrite reports lhs when it is a selector writing a guarded field.
-func checkWrite(pass *analysis.Pass, lhs ast.Expr) {
+func checkWrite(pass *analysis.Pass, reviewed map[int]bool, lhs ast.Expr) {
 	sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
 	if !ok {
 		return
@@ -68,6 +74,9 @@ func checkWrite(pass *analysis.Pass, lhs ast.Expr) {
 	}
 	field, ok := s.Obj().(*types.Var)
 	if !ok || field.Pkg() == nil {
+		return
+	}
+	if config.SuppressedAt(reviewed, pass.Fset, sel.Sel.Pos()) {
 		return
 	}
 	owner := ownerName(s.Recv())

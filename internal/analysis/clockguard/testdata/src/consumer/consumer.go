@@ -20,3 +20,9 @@ func Tamper(m *machine.Machine, res *simulator.Result, met *simulator.Metrics) f
 	s.N = 7                             // unguarded type: allowed
 	return m.Ts + res.Tp + float64(s.N) // reads are always fine
 }
+
+func ReviewedTamper(m *machine.Machine, res *simulator.Result) {
+	m.Ts = 9 //clockguard:reviewed test harness rebuilds the machine afterwards
+	//clockguard:reviewed synthetic result constructed for a golden file
+	res.Tp = 2.5
+}

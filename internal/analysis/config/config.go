@@ -21,9 +21,16 @@
 //   - Cost-doc packages expose quantities measured in the paper's units
 //     (ts, tw, flops); their exported float64-returning API must say so
 //     in its doc comment.
+//   - Ownership packages consume the simulator's pooled zero-copy
+//     messaging API; the ownflow analyzer tracks buffer ownership
+//     through their dataflow (owned → transferred → dead).
+//   - Unit packages hold the cost model's float64 arithmetic; the
+//     unitflow analyzer infers each expression's physical unit and
+//     rejects cross-unit addition and comparison.
 package config
 
 import (
+	"go/ast"
 	"go/token"
 	"regexp"
 	"strings"
@@ -83,21 +90,65 @@ var costDocPkgs = map[string]bool{
 	"matscale/internal/iso":   true,
 }
 
+// ownershipPkgs consume the pooled zero-copy messaging API
+// (SendOwned/Recycle/…); ownflow verifies their buffer dataflow. The
+// simulator and des packages own the pool itself and are excluded —
+// the contract binds the API's clients, not its implementation.
+var ownershipPkgs = map[string]bool{
+	"matscale/internal/core":       true,
+	"matscale/internal/collective": true,
+}
+
+// unitPkgs hold the cost model's closed-form float64 arithmetic;
+// unitflow infers units for their expressions and rejects cross-unit
+// addition/comparison (a ts-seconds term added to a word count).
+var unitPkgs = map[string]bool{
+	MachinePath:                 true,
+	"matscale/internal/model":   true,
+	"matscale/internal/iso":     true,
+	"matscale/internal/regions": true,
+}
+
+// Normalize canonicalizes a package path for classification. The go
+// command presents a package's external test variant as "<path>_test"
+// and its synthesized test main as "<path>.test"; both are classified
+// like the base package (their non-test files — there are none — would
+// be bound by the same contracts). Vendored packages ("vendor/…" or
+// any path containing "/vendor/") are third-party code outside every
+// contract and normalize to "", which no classification table
+// contains.
+func Normalize(path string) string {
+	if strings.HasPrefix(path, "vendor/") || strings.Contains(path, "/vendor/") {
+		return ""
+	}
+	path = strings.TrimSuffix(path, ".test")
+	path = strings.TrimSuffix(path, "_test")
+	return path
+}
+
 // Deterministic reports whether the package at path is bound by the
 // determinism contract (nodetbreak).
-func Deterministic(path string) bool { return deterministicPkgs[path] }
+func Deterministic(path string) bool { return deterministicPkgs[Normalize(path)] }
 
 // Charged reports whether the package at path is bound by the
 // cost-charging contract (costcharge).
-func Charged(path string) bool { return chargedPkgs[path] }
+func Charged(path string) bool { return chargedPkgs[Normalize(path)] }
 
 // ClockOwner reports whether the package at path may mutate guarded
 // clock/metrics fields (clockguard).
-func ClockOwner(path string) bool { return clockOwnerPkgs[path] }
+func ClockOwner(path string) bool { return clockOwnerPkgs[Normalize(path)] }
 
 // CostDoc reports whether the package at path is bound by the
 // unit-documentation contract (accretion).
-func CostDoc(path string) bool { return costDocPkgs[path] }
+func CostDoc(path string) bool { return costDocPkgs[Normalize(path)] }
+
+// Ownership reports whether the package at path is bound by the buffer
+// ownership contract (ownflow).
+func Ownership(path string) bool { return ownershipPkgs[Normalize(path)] }
+
+// UnitInference reports whether the package at path is bound by the
+// unit-consistency contract (unitflow).
+func UnitInference(path string) bool { return unitPkgs[Normalize(path)] }
 
 // guardedMachineFields are the cost constants of machine.Machine: the
 // ts + tw·m postal model's parameters plus the routing/port regime that
@@ -146,4 +197,27 @@ var UnitDocPattern = regexp.MustCompile(`(?i)\b(ts|tw|th|flops?|time|times|cost|
 // results, and measure wall time.
 func TestFile(fset *token.FileSet, pos token.Pos) bool {
 	return strings.HasSuffix(fset.File(pos).Name(), "_test.go")
+}
+
+// MarkedLines returns the lines of f carrying a comment that begins
+// with marker. Every analyzer's suppression grammar is the same: a
+// '//<analyzer>:<word>' comment (optionally followed by a free-form
+// justification) on the reported line or the line directly above it.
+func MarkedLines(fset *token.FileSet, f *ast.File, marker string) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, marker) {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+// SuppressedAt reports whether pos's line, or the line directly above
+// it, is in lines (as returned by MarkedLines).
+func SuppressedAt(lines map[int]bool, fset *token.FileSet, pos token.Pos) bool {
+	line := fset.Position(pos).Line
+	return lines[line] || lines[line-1]
 }

@@ -8,22 +8,36 @@ import (
 
 func TestClassification(t *testing.T) {
 	cases := []struct {
-		path                                        string
-		deterministic, charged, clockOwner, costDoc bool
+		path                                                              string
+		deterministic, charged, clockOwner, costDoc, ownership, unitInfer bool
 	}{
-		{"matscale/internal/simulator", true, false, true, false},
-		{"matscale/internal/machine", true, false, true, true},
-		{"matscale/internal/faults", true, false, false, false},
-		{"matscale/internal/core", true, true, false, false},
-		{"matscale/internal/collective", true, true, false, false},
-		{"matscale/internal/experiments", true, false, false, false},
-		{"matscale/internal/sweep", true, false, false, false},
-		{"matscale/internal/server", true, false, false, false},
-		{"matscale/internal/model", false, false, false, true},
-		{"matscale/internal/iso", false, false, false, true},
-		{"matscale/internal/shm", false, false, false, false}, // host compute: real concurrency allowed
-		{"matscale", false, false, false, false},
-		{"matscale/cmd/matscale", false, false, false, false},
+		{"matscale/internal/simulator", true, false, true, false, false, false},
+		{"matscale/internal/machine", true, false, true, true, false, true},
+		{"matscale/internal/faults", true, false, false, false, false, false},
+		{"matscale/internal/core", true, true, false, false, true, false},
+		{"matscale/internal/collective", true, true, false, false, true, false},
+		{"matscale/internal/experiments", true, false, false, false, false, false},
+		{"matscale/internal/sweep", true, false, false, false, false, false},
+		{"matscale/internal/server", true, false, false, false, false, false},
+		{"matscale/internal/model", false, false, false, true, false, true},
+		{"matscale/internal/iso", false, false, false, true, false, true},
+		{"matscale/internal/regions", false, false, false, false, false, true},
+		{"matscale/internal/shm", false, false, false, false, false, false}, // host compute: real concurrency allowed
+		{"matscale", false, false, false, false, false, false},
+		{"matscale/cmd/matscale", false, false, false, false, false, false},
+		// cmd/ binaries are never in analyzer scope, even when their
+		// names echo classified packages.
+		{"matscale/cmd/matscale-server", false, false, false, false, false, false},
+		{"matscale/cmd/matscale-vet", false, false, false, false, false, false},
+		// External test variants and synthesized test mains classify
+		// like their base package.
+		{"matscale/internal/simulator_test", true, false, true, false, false, false},
+		{"matscale/internal/core_test", true, true, false, false, true, false},
+		{"matscale/internal/model_test", false, false, false, true, false, true},
+		{"matscale/internal/core.test", true, true, false, false, true, false},
+		// Vendored code is outside every contract, wherever it sits.
+		{"vendor/golang.org/x/tools/go/analysis", false, false, false, false, false, false},
+		{"matscale/vendor/matscale/internal/core", false, false, false, false, false, false},
 	}
 	for _, c := range cases {
 		if got := config.Deterministic(c.path); got != c.deterministic {
@@ -37,6 +51,30 @@ func TestClassification(t *testing.T) {
 		}
 		if got := config.CostDoc(c.path); got != c.costDoc {
 			t.Errorf("CostDoc(%q) = %v, want %v", c.path, got, c.costDoc)
+		}
+		if got := config.Ownership(c.path); got != c.ownership {
+			t.Errorf("Ownership(%q) = %v, want %v", c.path, got, c.ownership)
+		}
+		if got := config.UnitInference(c.path); got != c.unitInfer {
+			t.Errorf("UnitInference(%q) = %v, want %v", c.path, got, c.unitInfer)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"matscale/internal/core", "matscale/internal/core"},
+		{"matscale/internal/core_test", "matscale/internal/core"},
+		{"matscale/internal/core.test", "matscale/internal/core"},
+		{"vendor/golang.org/x/tools/go/cfg", ""},
+		{"matscale/vendor/golang.org/x/tools/go/cfg", ""},
+		// A path that merely names a vendor-ish package is untouched.
+		{"matscale/internal/vendorparse", "matscale/internal/vendorparse"},
+		{"", ""},
+	}
+	for _, c := range cases {
+		if got := config.Normalize(c.in); got != c.want {
+			t.Errorf("Normalize(%q) = %q, want %q", c.in, got, c.want)
 		}
 	}
 }

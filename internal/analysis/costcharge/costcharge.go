@@ -9,6 +9,7 @@ package costcharge
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strconv"
 
@@ -24,7 +25,8 @@ All communication in formulation code must go through the simulator's
 charged Send/Recv API so the ts + tw·m postal model accounts for it.
 Raw channel sends/receives, select statements, goroutine launches,
 channel construction, and the sync/sync-atomic packages bypass the cost
-model and are forbidden here.`
+model and are forbidden here. A reviewed exception (charged elsewhere,
+measurement-only plumbing) is annotated '//costcharge:reviewed'.`
 
 // Analyzer is the costcharge analyzer.
 var Analyzer = &analysis.Analyzer{
@@ -32,6 +34,10 @@ var Analyzer = &analysis.Analyzer{
 	Doc:  Doc,
 	Run:  run,
 }
+
+// reviewedMarker suppresses a diagnostic on its line (or the line
+// below it), asserting the uncharged primitive was reviewed.
+const reviewedMarker = "//costcharge:reviewed"
 
 func run(pass *analysis.Pass) (interface{}, error) {
 	if !config.Charged(pass.Pkg.Path()) {
@@ -41,26 +47,33 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		if config.TestFile(pass.Fset, f.Pos()) {
 			continue
 		}
+		reviewed := config.MarkedLines(pass.Fset, f, reviewedMarker)
+		report := func(pos token.Pos, format string, args ...interface{}) {
+			if config.SuppressedAt(reviewed, pass.Fset, pos) {
+				return
+			}
+			pass.Reportf(pos, format, args...)
+		}
 		for _, imp := range f.Imports {
 			if path, err := strconv.Unquote(imp.Path.Value); err == nil && (path == "sync" || path == "sync/atomic") {
-				pass.Reportf(imp.Pos(), "import of %q in a charged package: sync primitives coordinate outside the cost model; charge communication through the simulator's Proc API", path)
+				report(imp.Pos(), "import of %q in a charged package: sync primitives coordinate outside the cost model; charge communication through the simulator's Proc API", path)
 			}
 		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.SendStmt:
-				pass.Reportf(n.Arrow, "raw channel send bypasses the ts + tw·m cost model; use Proc.Send (or ChargedSend) so the transfer is charged")
+				report(n.Arrow, "raw channel send bypasses the ts + tw·m cost model; use Proc.Send (or ChargedSend) so the transfer is charged")
 			case *ast.UnaryExpr:
 				if n.Op.String() == "<-" {
-					pass.Reportf(n.OpPos, "raw channel receive bypasses the cost model; use Proc.Recv so arrival time advances the virtual clock")
+					report(n.OpPos, "raw channel receive bypasses the cost model; use Proc.Recv so arrival time advances the virtual clock")
 				}
 			case *ast.SelectStmt:
-				pass.Reportf(n.Select, "select races on real-time channel readiness; message matching must go through the simulator's deterministic (source, tag) queues")
+				report(n.Select, "select races on real-time channel readiness; message matching must go through the simulator's deterministic (source, tag) queues")
 			case *ast.GoStmt:
-				pass.Reportf(n.Go, "goroutine launch in a charged package: concurrency belongs to the simulator runtime, not the formulation")
+				report(n.Go, "goroutine launch in a charged package: concurrency belongs to the simulator runtime, not the formulation")
 			case *ast.CallExpr:
 				if isMakeChan(pass, n) {
-					pass.Reportf(n.Pos(), "channel construction in a charged package: data movement must be charged through the simulator's Proc API")
+					report(n.Pos(), "channel construction in a charged package: data movement must be charged through the simulator's Proc API")
 				}
 			}
 			return true

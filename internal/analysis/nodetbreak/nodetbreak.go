@@ -70,8 +70,8 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		if config.TestFile(pass.Fset, f.Pos()) {
 			continue
 		}
-		marked := markedLines(pass.Fset, f, ordMarker)
-		pooled := markedLines(pass.Fset, f, pooledMarker)
+		marked := config.MarkedLines(pass.Fset, f, ordMarker)
+		pooled := config.MarkedLines(pass.Fset, f, pooledMarker)
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.CallExpr:
@@ -87,19 +87,6 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		})
 	}
 	return nil, nil
-}
-
-// markedLines returns the set of lines carrying the given marker.
-func markedLines(fset *token.FileSet, f *ast.File, marker string) map[int]bool {
-	lines := map[int]bool{}
-	for _, cg := range f.Comments {
-		for _, c := range cg.List {
-			if strings.HasPrefix(c.Text, marker) {
-				lines[fset.Position(c.Pos()).Line] = true
-			}
-		}
-	}
-	return lines
 }
 
 // checkPoolType reports struct fields and variables of type sync.Pool

@@ -49,6 +49,16 @@ func collectSorted(m map[int]float64) []int {
 	return keys
 }
 
+func collectSortedAbove(m map[int]float64) []int {
+	var keys []int
+	//nodetbreak:ordered — marker on the line above also works
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
 func pickMin(m map[string]float64) string {
 	best, bestTp := "", 1e300
 	for name, tp := range m { // want `assigns best declared outside the loop`

@@ -1,0 +1,15 @@
+package ownflow_test
+
+import (
+	"testing"
+
+	"matscale/internal/analysis/analyzertest"
+	"matscale/internal/analysis/ownflow"
+)
+
+func TestOwnflow(t *testing.T) {
+	analyzertest.Run(t, "testdata", ownflow.Analyzer,
+		"matscale/internal/core",
+		"notown",
+	)
+}

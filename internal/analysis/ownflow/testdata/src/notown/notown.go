@@ -1,0 +1,18 @@
+// Package notown is outside the ownership-classified packages: even a
+// flagrant use-after-transfer produces no diagnostics here, because the
+// ownership contract binds only the packages config.Ownership names.
+package notown
+
+import "matscale/internal/simulator"
+
+// UseAfterSendElsewhere would be a violation inside internal/core.
+func UseAfterSendElsewhere(pr *simulator.Proc) float64 {
+	buf := pr.Recv(0, 1)
+	pr.SendOwned(1, 2, buf)
+	return buf[0]
+}
+
+// DropRecvElsewhere drops a delivered buffer outside the contract.
+func DropRecvElsewhere(pr *simulator.Proc) {
+	pr.Recv(0, 1)
+}

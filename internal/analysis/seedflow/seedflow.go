@@ -23,7 +23,9 @@ Every function with a parameter named seed (or *Seed) must reference it
 in its body — threading it into a rand source, a faults.Config, or a
 stored field. A blank identifier or a parameter that is never read
 breaks the "same seed, same run" guarantee the fault-injection and
-experiment layers rely on.`
+experiment layers rely on. A reviewed exception (an interface
+implementation that is genuinely seed-independent) is annotated
+'//seedflow:reviewed'.`
 
 // Analyzer is the seedflow analyzer.
 var Analyzer = &analysis.Analyzer{
@@ -32,11 +34,16 @@ var Analyzer = &analysis.Analyzer{
 	Run:  run,
 }
 
+// reviewedMarker suppresses a diagnostic on its line (or the line
+// below it), asserting the dropped seed was reviewed.
+const reviewedMarker = "//seedflow:reviewed"
+
 func run(pass *analysis.Pass) (interface{}, error) {
 	for _, f := range pass.Files {
 		if config.TestFile(pass.Fset, f.Pos()) {
 			continue
 		}
+		reviewed := config.MarkedLines(pass.Fset, f, reviewedMarker)
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil || fd.Type.Params == nil {
@@ -45,6 +52,9 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			for _, field := range fd.Type.Params.List {
 				for _, name := range field.Names {
 					if !seedName(name.Name) {
+						continue
+					}
+					if config.SuppressedAt(reviewed, pass.Fset, name.Pos()) {
 						continue
 					}
 					if !paramUsed(pass, fd.Body, name) {

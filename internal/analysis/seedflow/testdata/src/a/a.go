@@ -41,3 +41,12 @@ func remix(seed int64) int64 {
 func Seedless(p, q int) int { // no seed parameter: out of scope
 	return p + q
 }
+
+func NewReviewed(seed int64) *Config { //seedflow:reviewed stateless implementation, genuinely seed-independent
+	return &Config{}
+}
+
+//seedflow:reviewed interface conformance; this backend has no randomness
+func NewReviewedAbove(seed int64) *Config {
+	return &Config{}
+}

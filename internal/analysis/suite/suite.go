@@ -10,7 +10,9 @@ import (
 	"matscale/internal/analysis/clockguard"
 	"matscale/internal/analysis/costcharge"
 	"matscale/internal/analysis/nodetbreak"
+	"matscale/internal/analysis/ownflow"
 	"matscale/internal/analysis/seedflow"
+	"matscale/internal/analysis/unitflow"
 )
 
 // All returns the full matscale-vet analyzer suite in stable order.
@@ -20,6 +22,8 @@ func All() []*analysis.Analyzer {
 		clockguard.Analyzer,
 		costcharge.Analyzer,
 		nodetbreak.Analyzer,
+		ownflow.Analyzer,
 		seedflow.Analyzer,
+		unitflow.Analyzer,
 	}
 }

@@ -1,0 +1,97 @@
+// Package model is a unitflow fixture: its import path matches a real
+// unit-classified package, so every expression here runs under unit
+// inference.
+package model
+
+import "math"
+
+// --- positive cases -------------------------------------------------
+
+// badAdd adds a startup time to a message volume.
+func badAdd(ts, words float64) float64 {
+	return ts + words // want `cross-unit addition`
+}
+
+// badCompare ranks a cost against a word count.
+func badCompare(cost, nwords float64) bool {
+	return cost < nwords // want `cross-unit comparison`
+}
+
+// badAccum folds one kind of quantity into another kind.
+func badAccum(tw float64) float64 {
+	eff := 0.5
+	eff += tw // want `cross-unit accumulation`
+	return eff
+}
+
+// badEfficiency is declared dimensionless by name but returns a time.
+func badEfficiency(tp float64) float64 {
+	return tp // want `declared unit`
+}
+
+// commTime and wordCount give call results units through their names.
+func commTime(p float64) float64  { return p }
+func wordCount(n float64) float64 { return n }
+
+// badCallMix adds a time-valued call to a words-valued call.
+func badCallMix(n, p float64) float64 {
+	return commTime(p) + wordCount(n) // want `cross-unit addition`
+}
+
+// badField mixes a machine cost constant with a word count.
+func badField(m Machine, words float64) float64 {
+	return m.Ts + words // want `cross-unit addition`
+}
+
+// Machine stubs the cost-constant fields of the real machine type.
+type Machine struct {
+	Ts, Tw float64
+}
+
+// --- suppression cases ----------------------------------------------
+
+// reviewedMix carries the marker on the reported line.
+func reviewedMix(ts, words float64) float64 {
+	return ts + words //unitflow:reviewed packed scalar score, not a physical sum
+}
+
+// reviewedAbove carries the marker on the line above.
+func reviewedAbove(th, ratio float64) bool {
+	//unitflow:reviewed threshold constant deliberately encodes both scales
+	return th > ratio
+}
+
+// --- negative cases -------------------------------------------------
+
+// totalTime adds like units and returns what its name declares.
+func totalTime(ts, tw float64) float64 {
+	return ts + tw
+}
+
+// goodTp is the paper's Tp shape: every mixed product passes through
+// an unknown factor, so nothing reports.
+func goodTp(n, p, ts, tw float64) float64 {
+	return n*n*n/p + ts*math.Log2(p) + tw*n*n/math.Sqrt(p)
+}
+
+// goodEfficiency divides work by cost; the p·Tp product is unknown, so
+// the declared dimensionless result is not contradicted.
+func goodEfficiency(w, tp, p float64) float64 {
+	return w / (p * tp)
+}
+
+// goodScale scales a time by a dimensionless factor and keeps adding
+// times.
+func goodScale(ts, tw, eff float64) float64 {
+	return eff*ts + tw
+}
+
+// goodFields adds two cost constants of the same machine.
+func goodFields(m Machine) float64 {
+	return m.Ts + m.Tw
+}
+
+// goodMax compares like units through math.Max.
+func goodMax(ts, tw float64) float64 {
+	return math.Max(ts, tw)
+}

@@ -1,0 +1,14 @@
+// Package notunit is outside the unit-classified packages: mixed-unit
+// arithmetic here produces no diagnostics, because the unit contract
+// binds only the packages config.UnitInference names.
+package notunit
+
+// MixElsewhere would be a violation inside internal/model.
+func MixElsewhere(ts, words float64) float64 {
+	return ts + words
+}
+
+// CompareElsewhere likewise.
+func CompareElsewhere(cost, nwords float64) bool {
+	return cost < nwords
+}

@@ -1,0 +1,608 @@
+// Package unitflow defines an analyzer that infers physical units for
+// the cost model's float64 expressions and rejects cross-unit
+// arithmetic. The accretion analyzer already forces every exported
+// cost API to document its units (ts, tw, flop-times, words,
+// dimensionless ratios); unitflow closes the loop by propagating those
+// same units through expressions and flagging the additions and
+// comparisons that mix them — a startup-time term added to a word
+// count, an efficiency compared against a per-message cost.
+//
+// The unit lattice is deliberately small: time (the paper normalizes
+// ts/tw/th and the W = n³ flop count to flop-time units, so flops and
+// seconds collapse into one kind), words (message volumes), and
+// dimensionless (efficiencies, speedups, ratios). Everything else —
+// matrix orders, processor counts, literals, nonlinear function
+// results — is unknown, and unknown never reports: the analyzer only
+// fires when both operands have confidently inferred, different units.
+// Units come from names and documentation, not annotations: parameter
+// and field names (ts, tw, Th, words, eff), callee names (…Time,
+// …Overhead, …Tp, …Efficiency, …Words), and the unit vocabulary of
+// doc comments. A reviewed exception is suppressed with a trailing
+// '//unitflow:reviewed' comment on the line (or the line above).
+package unitflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+	"unicode"
+
+	"golang.org/x/tools/go/analysis"
+
+	"matscale/internal/analysis/config"
+)
+
+// Doc is the analyzer's long-form description (shown by -help).
+const Doc = `reject cross-unit arithmetic in the cost model's float64 expressions
+
+The cost model measures quantities in three units: flop-times (ts, tw,
+th, Tp, To, and the W = n³ work term, all normalized to the time of one
+flop), words (message volumes), and dimensionless ratios (efficiency,
+speedup, K = E/(1−E)). unitflow infers a unit for each float64
+expression from parameter/field/callee names and doc comments, then
+reports additions, subtractions, and comparisons whose operands have
+different inferred units. Quantities it cannot confidently classify
+stay unknown and never report. Reviewed exceptions are annotated
+'//unitflow:reviewed'.`
+
+// Analyzer is the unitflow analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "unitflow",
+	Doc:  Doc,
+	Run:  run,
+}
+
+// reviewedMarker suppresses a diagnostic on its line (or the line
+// below it).
+const reviewedMarker = "//unitflow:reviewed"
+
+// unit is one point of the inference lattice.
+type unit int
+
+const (
+	unknownU unit = iota // not confidently classified; never reports
+	timeU                // flop-time: ts, tw, th, Tp, To, W
+	wordsU               // message volume in words
+	dimlessU             // efficiency, speedup, ratios, K
+)
+
+func (u unit) String() string {
+	switch u {
+	case timeU:
+		return "time (flop-time units)"
+	case wordsU:
+		return "words"
+	case dimlessU:
+		return "dimensionless"
+	}
+	return "unknown"
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !config.UnitInference(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		if config.TestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		c := &checker{pass: pass, reviewed: config.MarkedLines(pass.Fset, f, reviewedMarker)}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				c.checkFunc(fd)
+			}
+		}
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass     *analysis.Pass
+	reviewed map[int]bool
+	env      map[*types.Var]unit
+}
+
+// checkFunc infers an environment for one function declaration (its
+// literals included) and checks every arithmetic site inside.
+func (c *checker) checkFunc(fd *ast.FuncDecl) {
+	c.env = map[*types.Var]unit{}
+	c.seedParams(fd)
+	c.inferLocals(fd.Body)
+	c.checkBody(fd)
+}
+
+// seedParams assigns units to parameters (and named results) from
+// their names: a parameter called ts carries startup time wherever the
+// caller got it from.
+func (c *checker) seedParams(fd *ast.FuncDecl) {
+	seed := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				v, ok := c.pass.TypesInfo.ObjectOf(name).(*types.Var)
+				if !ok {
+					continue
+				}
+				if !isFloat64(v.Type()) && !isFuncType(v.Type()) {
+					continue
+				}
+				if u := nameUnit(name.Name); u != unknownU {
+					c.env[v] = u
+				}
+			}
+		}
+	}
+	seed(fd.Type.Params)
+	seed(fd.Type.Results)
+	// Function-literal parameters inside the body join the same env.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			seedLit := fl.Type.Params
+			if seedLit != nil {
+				for _, field := range seedLit.List {
+					for _, name := range field.Names {
+						if v, ok := c.pass.TypesInfo.ObjectOf(name).(*types.Var); ok && isFloat64(v.Type()) {
+							if u := nameUnit(name.Name); u != unknownU {
+								c.env[v] = u
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// inferLocals runs a small fixpoint over the assignments in body,
+// giving each float64 local a unit from its name (which wins: the name
+// states intent) or, failing that, from its right-hand sides.
+// Conflicting inferences poison the variable back to unknown.
+func (c *checker) inferLocals(body *ast.BlockStmt) {
+	poisoned := map[*types.Var]bool{}
+	for range [4]struct{}{} {
+		changed := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				v, ok := c.pass.TypesInfo.ObjectOf(id).(*types.Var)
+				if !ok || !isFloat64(v.Type()) || poisoned[v] {
+					continue
+				}
+				if u := nameUnit(v.Name()); u != unknownU {
+					if c.env[v] != u {
+						c.env[v] = u
+						changed = true
+					}
+					continue
+				}
+				u := c.exprUnit(as.Rhs[i])
+				if u == unknownU {
+					continue
+				}
+				switch c.env[v] {
+				case unknownU:
+					c.env[v] = u
+					changed = true
+				case u:
+				default:
+					// Two assignments disagree: not a single-unit
+					// variable; stop guessing.
+					delete(c.env, v)
+					poisoned[v] = true
+					changed = true
+				}
+			}
+			return true
+		})
+		if !changed {
+			break
+		}
+	}
+}
+
+// checkBody reports cross-unit arithmetic in fd.
+func (c *checker) checkBody(fd *ast.FuncDecl) {
+	declared := c.funcDeclUnit(fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			c.checkBinary(n)
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN || n.Tok == token.SUB_ASSIGN {
+				lu := c.exprUnit(n.Lhs[0])
+				ru := c.exprUnit(n.Rhs[0])
+				if lu != unknownU && ru != unknownU && lu != ru {
+					c.report(n.TokPos, "cross-unit accumulation: %s is %s but the added term is %s", exprString(n.Lhs[0]), lu, ru)
+				}
+			}
+		case *ast.ReturnStmt:
+			// Function literals have their own (unchecked) result
+			// contract; only check returns of fd itself, approximated
+			// by skipping returns inside literals below.
+		case *ast.FuncLit:
+			c.checkLitBody(n)
+			return false
+		}
+		return true
+	})
+	if declared == unknownU {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
+			return true
+		}
+		u := c.exprUnit(ret.Results[0])
+		if u != unknownU && u != declared {
+			c.report(ret.Results[0].Pos(), "return value inferred as %s but %s's declared unit is %s", u, fd.Name.Name, declared)
+		}
+		return true
+	})
+}
+
+// checkLitBody checks arithmetic inside a function literal (return
+// units of literals are not checked — they have no unit-bearing name).
+func (c *checker) checkLitBody(fl *ast.FuncLit) {
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			c.checkBinary(n)
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN || n.Tok == token.SUB_ASSIGN {
+				lu := c.exprUnit(n.Lhs[0])
+				ru := c.exprUnit(n.Rhs[0])
+				if lu != unknownU && ru != unknownU && lu != ru {
+					c.report(n.TokPos, "cross-unit accumulation: %s is %s but the added term is %s", exprString(n.Lhs[0]), lu, ru)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkBinary reports an addition, subtraction, or comparison whose
+// operands carry different known units.
+func (c *checker) checkBinary(b *ast.BinaryExpr) {
+	var verb string
+	switch b.Op {
+	case token.ADD:
+		verb = "addition"
+	case token.SUB:
+		verb = "subtraction"
+	case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+		verb = "comparison"
+	default:
+		return
+	}
+	if !isFloat64(c.pass.TypesInfo.TypeOf(b.X)) || !isFloat64(c.pass.TypesInfo.TypeOf(b.Y)) {
+		return
+	}
+	lu, ru := c.exprUnit(b.X), c.exprUnit(b.Y)
+	if lu == unknownU || ru == unknownU || lu == ru {
+		return
+	}
+	c.report(b.OpPos, "cross-unit %s: %s is %s but %s is %s", verb, exprString(b.X), lu, exprString(b.Y), ru)
+}
+
+// exprUnit infers e's unit.
+func (c *checker) exprUnit(e ast.Expr) unit {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return c.exprUnit(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.SUB || e.Op == token.ADD {
+			return c.exprUnit(e.X)
+		}
+	case *ast.Ident:
+		if v, ok := c.pass.TypesInfo.ObjectOf(e).(*types.Var); ok {
+			if u, ok := c.env[v]; ok {
+				return u
+			}
+			if isFloat64(v.Type()) {
+				return nameUnit(v.Name())
+			}
+			return unknownU
+		}
+		if con, ok := c.pass.TypesInfo.ObjectOf(e).(*types.Const); ok && isFloat64(con.Type()) {
+			return nameUnit(con.Name())
+		}
+	case *ast.SelectorExpr:
+		// A field selection: the field name states the unit (m.Ts).
+		if sel, ok := c.pass.TypesInfo.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			if isFloat64(sel.Obj().Type()) {
+				return fieldUnit(sel.Obj().Name())
+			}
+			return unknownU
+		}
+		// Package-qualified var or const.
+		if obj := c.pass.TypesInfo.ObjectOf(e.Sel); obj != nil && isFloat64(obj.Type()) {
+			switch obj.(type) {
+			case *types.Var, *types.Const:
+				return nameUnit(e.Sel.Name)
+			}
+		}
+	case *ast.CallExpr:
+		return c.callUnit(e)
+	case *ast.BinaryExpr:
+		return c.binaryUnit(e)
+	}
+	return unknownU
+}
+
+// binaryUnit applies the unit algebra to an arithmetic expression.
+func (c *checker) binaryUnit(b *ast.BinaryExpr) unit {
+	lu, ru := c.exprUnit(b.X), c.exprUnit(b.Y)
+	switch b.Op {
+	case token.ADD, token.SUB:
+		// Consistent operands keep their unit; one unknown operand is
+		// optimistically assumed consistent with the known one.
+		if lu == ru {
+			return lu
+		}
+		if lu == unknownU {
+			return ru
+		}
+		if ru == unknownU {
+			return lu
+		}
+		return unknownU // mixed (reported by checkBinary)
+	case token.MUL:
+		// Scaling by a dimensionless factor preserves the unit; any
+		// other product (time × words, time × count) leaves the
+		// lattice and becomes unknown.
+		if lu == dimlessU {
+			return ru
+		}
+		if ru == dimlessU {
+			return lu
+		}
+		return unknownU
+	case token.QUO:
+		// A ratio of like units is dimensionless; dividing by a
+		// dimensionless factor preserves the unit.
+		if lu == ru && lu != unknownU {
+			return dimlessU
+		}
+		if ru == dimlessU {
+			return lu
+		}
+		return unknownU
+	}
+	return unknownU
+}
+
+// callUnit infers the unit of a call's result from the callee's name
+// (for functions in this module, func-typed locals, and the order-
+// preserving math builtins) or the callee's doc comment.
+func (c *checker) callUnit(call *ast.CallExpr) unit {
+	if !isFloat64(c.pass.TypesInfo.TypeOf(call)) {
+		return unknownU
+	}
+	// A conversion float64(x) erases the operand's (integer) identity.
+	if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		return unknownU
+	}
+	var name string
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		name, obj = fun.Name, c.pass.TypesInfo.ObjectOf(fun)
+	case *ast.SelectorExpr:
+		name, obj = fun.Sel.Name, c.pass.TypesInfo.ObjectOf(fun.Sel)
+	default:
+		return unknownU
+	}
+	switch o := obj.(type) {
+	case *types.Func:
+		if o.Pkg() != nil && o.Pkg().Path() == "math" {
+			// Max/Min/Abs preserve a consistent argument unit; other
+			// math functions are nonlinear in it.
+			switch name {
+			case "Max", "Min", "Abs":
+				var u unit
+				for i, arg := range call.Args {
+					au := c.exprUnit(arg)
+					if i == 0 {
+						u = au
+					} else if au != u {
+						return unknownU
+					}
+				}
+				return u
+			}
+			return unknownU
+		}
+		// Name heuristics apply only to this module's own functions;
+		// arbitrary third-party names are not unit vocabulary.
+		if o.Pkg() == nil || (o.Pkg() != c.pass.Pkg && !strings.HasPrefix(o.Pkg().Path(), "matscale/")) {
+			return unknownU
+		}
+		if u := funcNameUnit(name); u != unknownU {
+			return u
+		}
+		return unknownU
+	case *types.Var:
+		// A call through a func-typed variable: the variable's name is
+		// the only vocabulary (toX, dnsTo, costFn).
+		if isFuncType(o.Type()) {
+			return funcNameUnit(name)
+		}
+	}
+	return unknownU
+}
+
+// funcDeclUnit gives the declared unit of fd's single float64 result,
+// from the function's name or, failing that, its doc comment.
+func (c *checker) funcDeclUnit(fd *ast.FuncDecl) unit {
+	res := fd.Type.Results
+	if res == nil || len(res.List) != 1 || len(res.List[0].Names) > 0 {
+		return unknownU
+	}
+	if !isFloat64(c.pass.TypesInfo.TypeOf(res.List[0].Type)) {
+		return unknownU
+	}
+	if u := funcNameUnit(fd.Name.Name); u != unknownU {
+		return u
+	}
+	return docUnit(fd.Doc)
+}
+
+// docUnit scans a doc comment for the first unit keyword.
+func docUnit(doc *ast.CommentGroup) unit {
+	if doc == nil {
+		return unknownU
+	}
+	for _, word := range strings.FieldsFunc(strings.ToLower(doc.Text()), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	}) {
+		switch word {
+		case "efficiency", "isoefficiency", "speedup", "ratio", "fraction", "utilization", "granularity", "dimensionless":
+			return dimlessU
+		case "words", "word":
+			return wordsU
+		case "seconds", "time", "times", "cost", "costs", "overhead", "flop", "flops", "ts", "tw", "th":
+			return timeU
+		}
+	}
+	return unknownU
+}
+
+// nameUnit maps a variable, parameter, or field identifier to a unit.
+func nameUnit(name string) unit {
+	switch strings.ToLower(name) {
+	case "ts", "tw", "th", "tc", "tp", "to", "t", "w", "cost", "time", "overhead", "tcomm", "tcomp", "ttotal":
+		return timeU
+	case "eff", "efficiency", "speedup", "k":
+		return dimlessU
+	case "words", "nwords", "wordcount":
+		return wordsU
+	}
+	lower := strings.ToLower(name)
+	switch {
+	case strings.Contains(lower, "efficiency") || strings.Contains(lower, "speedup") ||
+		strings.Contains(lower, "fraction") || strings.Contains(lower, "ratio") ||
+		strings.Contains(lower, "utilization"):
+		return dimlessU
+	case strings.Contains(lower, "word"):
+		return wordsU
+	case strings.Contains(lower, "time") || strings.Contains(lower, "cost") ||
+		strings.Contains(lower, "overhead") || strings.Contains(lower, "flop"):
+		return timeU
+	}
+	return funcAffixUnit(name)
+}
+
+// fieldUnit maps a struct field name to a unit: the machine's cost
+// constants and the simulator's measured times.
+func fieldUnit(name string) unit {
+	switch name {
+	case "Ts", "Tw", "Th", "Tc", "Tp", "To", "W", "Time", "Cost", "Overhead":
+		return timeU
+	}
+	return nameUnit(name)
+}
+
+// funcNameUnit maps a function or method name to its result's unit.
+func funcNameUnit(name string) unit {
+	// NEqualTo and friends solve "n such that To equals …": the result
+	// is a matrix order, not an overhead, despite the To suffix.
+	if strings.Contains(name, "NEqual") {
+		return unknownU
+	}
+	lower := strings.ToLower(name)
+	switch {
+	case strings.Contains(lower, "efficiency") || strings.Contains(lower, "speedup") ||
+		strings.Contains(lower, "fraction") || strings.Contains(lower, "ratio") ||
+		strings.Contains(lower, "utilization"):
+		return dimlessU
+	case strings.Contains(lower, "word"):
+		return wordsU
+	case strings.Contains(lower, "time") || strings.Contains(lower, "cost") ||
+		strings.Contains(lower, "overhead") || strings.Contains(lower, "flop"):
+		return timeU
+	case name == "K":
+		return dimlessU
+	}
+	return funcAffixUnit(name)
+}
+
+// funcAffixUnit recognizes the paper's symbol suffixes (…Tp, …To, …W)
+// and the to-prefix naming of overhead closures (to, toX, dnsTo).
+func funcAffixUnit(name string) unit {
+	for _, suf := range [...]string{"Tp", "To", "Ts", "Tw", "Th", "W"} {
+		if strings.HasSuffix(name, suf) {
+			return timeU
+		}
+	}
+	if name == "to" {
+		return timeU
+	}
+	if strings.HasPrefix(name, "to") && len(name) > 2 {
+		r := rune(name[2])
+		if unicode.IsUpper(r) || unicode.IsDigit(r) {
+			return timeU
+		}
+	}
+	return unknownU
+}
+
+func isFloat64(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Float64
+}
+
+func isFuncType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Signature)
+	return ok
+}
+
+func (c *checker) report(pos token.Pos, format string, args ...interface{}) {
+	line := c.pass.Fset.Position(pos).Line
+	if c.reviewed[line] || c.reviewed[line-1] {
+		return
+	}
+	msg := "unit mismatch: " + format + " (or annotate " + reviewedMarker + " after review)"
+	c.pass.Reportf(pos, msg, args...)
+}
+
+// exprString renders a short description of e for diagnostics.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(…)"
+	case *ast.ParenExpr:
+		return "(" + exprString(e.X) + ")"
+	case *ast.BinaryExpr:
+		return exprString(e.X) + " " + e.Op.String() + " " + exprString(e.Y)
+	case *ast.UnaryExpr:
+		return e.Op.String() + exprString(e.X)
+	case *ast.BasicLit:
+		return e.Value
+	}
+	return "expression"
+}

@@ -1,0 +1,15 @@
+package unitflow_test
+
+import (
+	"testing"
+
+	"matscale/internal/analysis/analyzertest"
+	"matscale/internal/analysis/unitflow"
+)
+
+func TestUnitflow(t *testing.T) {
+	analyzertest.Run(t, "testdata", unitflow.Analyzer,
+		"matscale/internal/model",
+		"notunit",
+	)
+}

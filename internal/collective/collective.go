@@ -212,14 +212,24 @@ func AllGather(pr *simulator.Proc, group []int, tag int, mine []float64) []float
 		// Segments owned so far: those sharing the index bits above s.
 		lo := (idx >> s) << s
 		plo := (partner >> s) << s
-		// The outgoing segment is a live sub-slice of buf, so the
-		// exchange must keep copy semantics; the received segment is
-		// consumed here and recycled.
-		got := pr.ExchangeNeighbor(group[partner], tag+s, buf[lo*m:(lo+1<<s)*m])
+		got := exchangeLiveSegment(pr, group[partner], tag+s, buf[lo*m:(lo+1<<s)*m])
 		copy(buf[plo*m:(plo+1<<s)*m], got)
 		pr.Recycle(got)
 	}
 	return buf
+}
+
+// exchangeLiveSegment exchanges a segment that aliases a buffer the
+// caller keeps using (an AllGather accumulation window, a
+// ReduceScatter half) with a hypercube neighbor. Such a segment must
+// never ride the ownership-transfer fast path: the pooled runtime
+// would hold a slice still backing caller-visible memory, and a later
+// delivery into the recycled buffer would overwrite it — the aliasing
+// ownflow rejects. This helper is the one place that argument lives;
+// it pins the exchange to the copying ExchangeNeighbor. The returned
+// buffer is caller-owned and must be recycled after consumption.
+func exchangeLiveSegment(pr *simulator.Proc, partner, tag int, segment []float64) []float64 {
+	return pr.ExchangeNeighbor(partner, tag, segment)
 }
 
 // AllGatherTime is the critical-path cost of AllGather for per-member
@@ -354,9 +364,7 @@ func ReduceScatter(pr *simulator.Proc, group []int, tag int, data []float64) ([]
 		} else {
 			keepLo, keepHi, sendLo, sendHi = mid, hi, lo, mid
 		}
-		// acc[sendLo:sendHi] is a live sub-slice of the accumulator, so
-		// the exchange must keep copy semantics.
-		got := pr.ExchangeNeighbor(group[partner], tag+s, acc[sendLo:sendHi])
+		got := exchangeLiveSegment(pr, group[partner], tag+s, acc[sendLo:sendHi])
 		for i, v := range got {
 			acc[keepLo+i] += v
 		}
@@ -389,7 +397,7 @@ func BarrierFree(pr *simulator.Proc, group []int, tag int) {
 	}
 	if idx == 0 {
 		for _, r := range group[1:] {
-			pr.Recv(r, tag) // clock rises to the latest sender
+			pr.Recv(r, tag) //ownflow:reviewed nil barrier payload; the clock rises to the latest sender
 		}
 		for _, r := range group[1:] {
 			pr.SendFree(r, tag, nil) // release at the synchronized time
@@ -397,7 +405,7 @@ func BarrierFree(pr *simulator.Proc, group []int, tag int) {
 		return
 	}
 	pr.SendFree(group[0], tag, nil)
-	pr.Recv(group[0], tag)
+	pr.Recv(group[0], tag) //ownflow:reviewed nil release payload; only the synchronized time matters
 }
 
 // AllGatherFree performs the all-to-all broadcast at zero virtual cost.
