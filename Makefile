@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-json bench-gate backend-equivalence sweep-determinism lint vet vet-tool fuzz cover verify repro server loadtest loadtest-json clean
+.PHONY: all build test race bench bench-smoke bench-json bench-gate backend-equivalence checkpoint-equivalence sweep-determinism lint vet vet-tool fuzz cover verify repro server loadtest loadtest-json clean
 
 all: build test
 
@@ -40,6 +40,14 @@ backend-equivalence:
 	$(GO) test -race -count=1 ./internal/des
 	$(GO) test -race -count=1 -run 'TestWithBackend' .
 
+# The checkpoint/resume differential suites under the race detector: a
+# resumed run/sweep/job must produce byte-identical output to an
+# uninterrupted one, at every cut (docs/BACKENDS.md, docs/SERVER.md).
+checkpoint-equivalence:
+	$(GO) test -race -count=1 ./internal/checkpoint
+	$(GO) test -race -count=1 -run 'TestResumeDifferential|TestCheckpoint|TestSuspend' ./internal/des ./internal/sweep ./internal/server
+	$(GO) test -race -count=1 -run 'TestCheckpoint|TestRestore|TestResume' .
+
 # The CI determinism check: the same sweep spec must emit byte-identical
 # CSV at 1 and 8 host workers, under the race detector (docs/SWEEP.md).
 SWEEP_ARGS = sweep -alg cannon,gk,berntsen -machine custom -ts 17 -n 16,32 -p 16,64 -faults ';straggler=2@rank0,seed=42'
@@ -73,6 +81,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzRandomPrograms -fuzztime=$(FUZZTIME) -run='^$$' ./internal/simulator
 	$(GO) test -fuzz=FuzzFaultedPrograms -fuzztime=$(FUZZTIME) -run='^$$' ./internal/simulator
 	$(GO) test -fuzz=FuzzBackendEquivalence -fuzztime=$(FUZZTIME) -run='^$$' ./internal/des
+	$(GO) test -fuzz=FuzzCheckpointRoundTrip -fuzztime=$(FUZZTIME) -run='^$$' ./internal/checkpoint
 
 # Coverage with the CI floor check (75% of statements in internal/...).
 cover:

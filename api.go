@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"io"
 	"reflect"
+	"strconv"
 
+	"matscale/internal/checkpoint"
 	"matscale/internal/core"
 	"matscale/internal/experiments"
 	"matscale/internal/faults"
@@ -88,6 +90,62 @@ func (e *UnsupportedBackendError) Error() string {
 	return fmt.Sprintf("matscale: backend %v unsupported: %s", e.Backend, e.Reason)
 }
 
+// Checkpoint is an encoded snapshot of a suspended Run: the state of
+// the Events engine at a consistent cut, wrapped in a versioned,
+// integrity-hashed container. Write one with WithCheckpoint +
+// WithSuspendAfter, reload it with Restore, and feed it back with
+// WithResume; the resumed run's Result, Metrics, CSV and trace bytes
+// are identical to an uninterrupted run's. See docs/BACKENDS.md for
+// the consistent-cut and verified-restore argument.
+type Checkpoint struct {
+	// Events is the number of event-loop dispatches before the cut.
+	Events uint64
+	// Data is the encoded snapshot container.
+	Data []byte
+}
+
+// WriteTo writes the encoded snapshot to w, making *Checkpoint an
+// io.WriterTo.
+func (c *Checkpoint) WriteTo(w io.Writer) (int64, error) {
+	n, err := w.Write(c.Data)
+	return int64(n), err
+}
+
+// Restore reads a checkpoint previously written through a
+// WithCheckpoint sink, verifying the container's magic, length and
+// integrity hash — a truncated or corrupted snapshot is a typed error
+// here, not undefined behavior later. Configuration-level validation
+// (same machine, same program, same build) happens when the checkpoint
+// is handed to Run via WithResume, where a mismatch surfaces as a
+// *ResumeMismatchError.
+func Restore(r io.Reader) (*Checkpoint, error) {
+	snap, err := checkpoint.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	events, _ := strconv.ParseUint(snap.Meta["events"], 10, 64)
+	return &Checkpoint{Events: events, Data: snap.Encode()}, nil
+}
+
+// Typed checkpoint/resume errors, re-exported for errors.As.
+type (
+	// SuspendedError is how Run reports a suspension requested with
+	// WithSuspendAfter: not a failure — the snapshot it carries (already
+	// delivered to the WithCheckpoint sink) resumes the run, on this
+	// process or another, with byte-identical output.
+	SuspendedError = simulator.SuspendedError
+	// ResumeMismatchError reports a WithResume checkpoint that cannot
+	// resume under the given configuration: a different machine,
+	// program, or build, caught either by the snapshot fingerprint or
+	// by the byte-for-byte verification of the restored state.
+	ResumeMismatchError = simulator.ResumeMismatchError
+	// UnsupportedCapabilityError reports an option demanded of a
+	// backend that does not implement it — asking the Goroutines engine
+	// for a checkpoint, or a Sweep call for run-level suspension. The
+	// API returns it instead of silently ignoring the option.
+	UnsupportedCapabilityError = simulator.UnsupportedCapabilityError
+)
+
 // Sweep types, re-exported. See docs/SWEEP.md for the spec grammar and
 // the determinism guarantee.
 type (
@@ -140,8 +198,71 @@ type (
 // caller owns shutdown: call SweepServer.Shutdown to drain.
 var NewSweepServer = server.New
 
-// Typed sweep-server errors, re-exported so embedders can errors.As on
-// Submit failures the way the HTTP layer maps them to status codes.
+// Job-control types, re-exported. A SweepServer job is a uniform
+// resource: Submit admits it, Suspend parks it at the next cell
+// boundary with a resumable checkpoint, Resume re-enqueues it, Cancel
+// terminates it. See docs/SERVER.md for the state machine.
+type (
+	// SweepJob is one admitted sweep of a SweepServer.
+	SweepJob = server.Job
+	// SweepJobState is a job's position in the lifecycle machine
+	// queued → running → {suspended, done, failed, cancelled}.
+	SweepJobState = server.State
+)
+
+// The SweepJobState values.
+const (
+	JobQueued    = server.StateQueued
+	JobRunning   = server.StateRunning
+	JobDone      = server.StateDone
+	JobFailed    = server.StateFailed
+	JobSuspended = server.StateSuspended
+	JobCancelled = server.StateCancelled
+)
+
+// ServerErrorKind classifies every typed error a SweepServer method
+// can return — one enum in place of per-type matching. Each kind value
+// is itself an error, so it works directly as an errors.Is target:
+//
+//	if _, err := srv.Submit(spec, backend); errors.Is(err, matscale.ServerKindQueueFull) {
+//	        // back off and retry
+//	}
+//
+// ServerErrorKindOf recovers the kind of any server error (including
+// ones wrapped with fmt.Errorf %w), and the HTTP layer maps each kind
+// to its status code with HTTPStatus.
+type ServerErrorKind = server.ErrorKind
+
+// The ServerErrorKind values.
+const (
+	ServerKindSweepError        = server.KindSweepError
+	ServerKindInternal          = server.KindInternal
+	ServerKindBadRequest        = server.KindBadRequest
+	ServerKindBadSpec           = server.KindBadSpec
+	ServerKindQueueFull         = server.KindQueueFull
+	ServerKindRateLimited       = server.KindRateLimited
+	ServerKindShuttingDown      = server.KindShuttingDown
+	ServerKindJobTimeout        = server.KindJobTimeout
+	ServerKindUnknownJob        = server.KindUnknownJob
+	ServerKindInvalidTransition = server.KindInvalidTransition
+	ServerKindSuspended         = server.KindSuspended
+	ServerKindNotDone           = server.KindNotDone
+	ServerKindCanceled          = server.KindCanceled
+)
+
+// ServerErrorKindOf returns the ServerErrorKind of any error returned
+// by a SweepServer method, defaulting to ServerKindSweepError for
+// untyped sweep failures.
+var ServerErrorKindOf = server.KindOf
+
+// Typed sweep-server errors, re-exported so embedders can errors.As
+// when a field payload matters (RateLimited's RetryAfter, QueueFull's
+// capacity).
+//
+// Deprecated: match by class instead — errors.Is(err,
+// ServerKindQueueFull) and the other ServerErrorKind values cover
+// every server error, including the job-control ones these aliases
+// predate.
 type (
 	SweepQueueFullError    = server.QueueFullError
 	SweepRateLimitedError  = server.RateLimitedError
@@ -154,14 +275,22 @@ type (
 type Option func(*runConfig)
 
 type runConfig struct {
-	metrics    bool
-	traceSink  io.Writer
-	dnsGrid    int
-	workers    int
-	faults     *faults.Config
-	progress   func(done, total int, c SweepCell)
-	backend    Backend
-	backendSet bool
+	metrics      bool
+	traceSink    io.Writer
+	dnsGrid      int
+	workers      int
+	faults       *faults.Config
+	progress     func(done, total int, c SweepCell)
+	backend      Backend
+	backendSet   bool
+	suspendAfter uint64
+	ckptSink     io.Writer
+	resume       *Checkpoint
+}
+
+// checkpointing reports whether any checkpoint/resume option was set.
+func (c runConfig) checkpointing() bool {
+	return c.suspendAfter > 0 || c.ckptSink != nil || c.resume != nil
 }
 
 func newRunConfig(opts []Option) runConfig {
@@ -254,11 +383,68 @@ func WithFaults(f *Faults) Option {
 	return func(c *runConfig) { c.faults = f }
 }
 
+// WithCheckpoint asks Run to deliver the encoded snapshot of a
+// suspended run to sink before returning. Pair it with
+// WithSuspendAfter, which picks the cut; the run then returns a
+// *SuspendedError (not a failure) and the snapshot reloads with
+// Restore + WithResume:
+//
+//	var buf bytes.Buffer
+//	_, err := matscale.Run(matscale.Cannon, m, a, b,
+//	        matscale.WithBackend(matscale.Events),
+//	        matscale.WithCheckpoint(&buf), matscale.WithSuspendAfter(500))
+//	// errors.As(err, &suspended) — buf holds the snapshot.
+//	ck, _ := matscale.Restore(&buf)
+//	res, err := matscale.Run(matscale.Cannon, m, a, b,
+//	        matscale.WithBackend(matscale.Events), matscale.WithResume(ck))
+//	// res is byte-identical to an uninterrupted run.
+//
+// Checkpointing requires the Events backend (the Goroutines engine has
+// no deterministic consistent cut) and an explicit algorithm; an
+// unsupported combination fails with a typed error instead of being
+// ignored.
+func WithCheckpoint(sink io.Writer) Option {
+	return func(c *runConfig) { c.ckptSink = sink }
+}
+
+// WithSuspendAfter stops the run at the consistent cut reached after
+// exactly events event-loop dispatches, delivering the snapshot to the
+// WithCheckpoint sink (which it requires). A run that completes in
+// fewer dispatches finishes normally.
+func WithSuspendAfter(events uint64) Option {
+	return func(c *runConfig) { c.suspendAfter = events }
+}
+
+// WithResume continues a run from a checkpoint loaded with Restore.
+// The machine, matrices, algorithm and backend must match the
+// suspended run's exactly — the engine verifies the restored state
+// byte-for-byte and rejects divergence with a *ResumeMismatchError.
+// Combine with WithCheckpoint + WithSuspendAfter to suspend again
+// further on.
+func WithResume(ck *Checkpoint) Option {
+	return func(c *runConfig) { c.resume = ck }
+}
+
 // validateBackend rejects WithBackend values outside the defined
 // constants with the typed error.
 func (c runConfig) validateBackend() error {
 	if c.backendSet && !c.backend.Known() {
 		return &UnsupportedBackendError{Backend: c.backend, Reason: "not a defined Backend value"}
+	}
+	return nil
+}
+
+// validateCheckpoint rejects meaningless checkpoint option
+// combinations up front. Backend capability itself is checked by the
+// engine dispatch (a non-capable backend returns the same typed
+// *UnsupportedCapabilityError), so the effective backend — whether
+// from WithBackend or the machine — is validated in one place.
+func (c runConfig) validateCheckpoint() error {
+	if c.suspendAfter > 0 && c.ckptSink == nil {
+		return fmt.Errorf("matscale: WithSuspendAfter requires WithCheckpoint (the snapshot needs a destination)")
+	}
+	if c.ckptSink != nil && c.suspendAfter == 0 && c.resume == nil {
+		return fmt.Errorf("matscale: WithCheckpoint does nothing without WithSuspendAfter (no cut is ever taken)")
 	}
 	return nil
 }
@@ -269,7 +455,7 @@ func (c runConfig) validateBackend() error {
 // scenario attached and the backend selected, so the caller's machine
 // is never mutated.
 func (c runConfig) machineFor(m *Machine) *Machine {
-	if !c.metrics && c.traceSink == nil && c.faults == nil && !c.backendSet {
+	if !c.metrics && c.traceSink == nil && c.faults == nil && !c.backendSet && !c.checkpointing() {
 		return m
 	}
 	mm := *m
@@ -280,6 +466,19 @@ func (c runConfig) machineFor(m *Machine) *Machine {
 	}
 	if c.backendSet {
 		mm.Backend = c.backend
+	}
+	if c.checkpointing() {
+		ctl := &machine.CheckpointControl{StopAfter: c.suspendAfter}
+		if c.resume != nil {
+			ctl.Resume = c.resume.Data
+		}
+		if sink := c.ckptSink; sink != nil {
+			ctl.Sink = func(snapshot []byte, events uint64) error {
+				_, err := sink.Write(snapshot)
+				return err
+			}
+		}
+		mm.Checkpoint = ctl
 	}
 	return &mm
 }
@@ -313,6 +512,9 @@ func (c runConfig) export(res *Result) error {
 func Run(alg Algorithm, m *Machine, a, b *Matrix, opts ...Option) (*Result, error) {
 	cfg := newRunConfig(opts)
 	if err := cfg.validateBackend(); err != nil {
+		return nil, err
+	}
+	if err := cfg.validateCheckpoint(); err != nil {
 		return nil, err
 	}
 	if cfg.dnsGrid > 0 {
@@ -409,6 +611,12 @@ func runAuto(cfg runConfig, m *Machine, a, b *Matrix) (*Result, Selection, error
 	if err := cfg.validateBackend(); err != nil {
 		return nil, Selection{}, err
 	}
+	if cfg.checkpointing() {
+		// Auto-selection falls back across algorithms on error, which
+		// would misread a SuspendedError as a failure and could resume a
+		// snapshot under a different program than suspended it.
+		return nil, Selection{}, fmt.Errorf("matscale: checkpoint options require an explicit algorithm; auto-selection cannot guarantee the resumed program matches")
+	}
 	if a.Rows != a.Cols || b.Rows != b.Cols || a.Rows != b.Rows {
 		return nil, Selection{}, fmt.Errorf("matscale: auto-selection needs equal square matrices, got %dx%d and %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
 	}
@@ -454,7 +662,10 @@ func runAuto(cfg runConfig, m *Machine, a, b *Matrix) (*Result, Selection, error
 //
 // WithWorkers selects the pool size (default all CPUs), WithProgress
 // observes cells as they complete, and WithBackend selects the
-// simulation engine every cell executes on; the other options are
+// simulation engine every cell executes on. The checkpoint options are
+// rejected with a typed *UnsupportedCapabilityError — a sweep's
+// suspension granularity is the cell, exposed through the SweepServer
+// job-control API, not the run-level cut. The remaining options are
 // ignored — per-cell fault scenarios come from spec.Faults, so that
 // clean-vs-faulted grids are part of the declarative spec. For a fixed
 // spec the result — including its CSV, JSON and rendered forms — is
@@ -464,6 +675,13 @@ func Sweep(spec *SweepSpec, opts ...Option) (*SweepResult, error) {
 	cfg := newRunConfig(opts)
 	if err := cfg.validateBackend(); err != nil {
 		return nil, err
+	}
+	if cfg.checkpointing() {
+		return nil, &UnsupportedCapabilityError{
+			Backend:    cfg.backend,
+			Capability: "run-level checkpoint/resume",
+			Reason:     "sweeps checkpoint at cell granularity; use the SweepServer job-control API (suspend/resume)",
+		}
 	}
 	return sweep.Run(spec, sweep.Options{Workers: cfg.workers, Progress: cfg.progress, Backend: cfg.backend})
 }

@@ -9,10 +9,17 @@
 //	matscale-server [-addr 127.0.0.1:8080] [-queue 256] [-concurrency 4]
 //	                [-jobs 0] [-rate 0] [-burst 0] [-timeout 0]
 //	                [-cache 65536] [-backend goroutines|events]
+//	                [-checkpoint-dir DIR] [-suspend-on-timeout=true]
 //
 // SIGINT/SIGTERM shut the server down gracefully: the listener closes,
 // admission stops (new submits get 503 shutting_down), and every
 // already-admitted job drains before the process exits.
+//
+// With -checkpoint-dir, suspended jobs persist their checkpoints there
+// and are restored — same IDs, same completed cells — when the server
+// restarts on the directory. A job that hits -timeout is suspended with
+// its completed cells intact rather than failed, unless
+// -suspend-on-timeout=false restores the old discard behavior.
 package main
 
 import (
@@ -50,6 +57,8 @@ func main() {
 	timeout := fs.Duration("timeout", 0, "per-job wall-clock timeout (0 = none)")
 	cache := fs.Int("cache", server.DefaultCacheCells, "cell cache capacity in cells (-1 disables)")
 	backendName := fs.String("backend", "goroutines", "default simulation backend: goroutines|events")
+	ckptDir := fs.String("checkpoint-dir", "", "persist suspended-job checkpoints here and restore them on startup (empty = in-memory only)")
+	suspendOnTimeout := fs.Bool("suspend-on-timeout", true, "suspend jobs that exceed -timeout with a resumable checkpoint instead of failing them")
 	fs.Parse(os.Args[1:])
 
 	backend, err := machine.ParseBackend(*backendName)
@@ -66,6 +75,9 @@ func main() {
 		CacheCells:    *cache,
 		Backend:       backend,
 		Clock:         realClock{},
+
+		SuspendOnTimeout: *suspendOnTimeout,
+		CheckpointDir:    *ckptDir,
 	})
 	if err != nil {
 		log.Fatalf("matscale-server: %v", err)
@@ -94,8 +106,8 @@ func main() {
 	}
 	<-done
 	st := srv.Stats()
-	msg := fmt.Sprintf("matscale-server: drained: %d completed, %d failed, %d cells served",
-		st.Completed, st.Failed, st.CellsServed)
+	msg := fmt.Sprintf("matscale-server: drained: %d completed, %d failed, %d suspended, %d cancelled, %d cells served",
+		st.Completed, st.Failed, st.Suspended, st.Canceled, st.CellsServed)
 	if st.Cache != nil {
 		msg += fmt.Sprintf(", cache hit rate %.3f", st.Cache.HitRate)
 	}

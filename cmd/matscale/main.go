@@ -14,6 +14,7 @@
 //	                    [-metrics] [-trace out.json] [-grid q]
 //	                    [-faults 'straggler=3@rank7,loss=0.01,seed=42']
 //	                    [-backend goroutines|events]
+//	                    [-checkpoint ck.bin -suspend-after 1000] [-resume ck.bin]
 //	matscale robust     [-n 16 -p 64 -machine ncube2]
 //	                    [-faults 'straggler=2@rank0,seed=42']
 //	                    [-backend goroutines|events]
@@ -38,6 +39,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -204,6 +206,9 @@ func cmdRun(args []string) error {
 	grid := fs.Int("grid", 0, "DNS block-grid side (runs DNS with WithDNSGrid; requires -alg dns)")
 	faultSpec := fs.String("faults", "", "fault scenario, e.g. 'straggler=3@rank7,loss=0.01,seed=42' (see docs/FAULTS.md)")
 	backendName := fs.String("backend", "goroutines", "simulation engine: goroutines, events (see docs/BACKENDS.md)")
+	ckptFile := fs.String("checkpoint", "", "write the snapshot of a suspended run to this file (requires -suspend-after and -backend events)")
+	suspendAfter := fs.Uint64("suspend-after", 0, "suspend at the consistent cut after this many event dispatches (requires -checkpoint)")
+	resumeFile := fs.String("resume", "", "resume from a snapshot written by an earlier -checkpoint run (same -alg, -n, -p, -machine flags)")
 	fs.Parse(args)
 
 	m, err := machineForPreset(*machineName, *p, *ts, *tw)
@@ -256,6 +261,29 @@ func cmdRun(args []string) error {
 		}
 		opts = append(opts, matscale.WithFaults(fc))
 	}
+	if *resumeFile != "" {
+		f, err := os.Open(*resumeFile)
+		if err != nil {
+			return err
+		}
+		ck, err := matscale.Restore(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		opts = append(opts, matscale.WithResume(ck))
+	}
+	if *ckptFile != "" {
+		f, err := os.Create(*ckptFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		opts = append(opts, matscale.WithCheckpoint(f))
+	}
+	if *suspendAfter > 0 {
+		opts = append(opts, matscale.WithSuspendAfter(*suspendAfter))
+	}
 
 	var res *matscale.Result
 	name := *algName
@@ -281,6 +309,14 @@ func cmdRun(args []string) error {
 		if err == nil {
 			name = res.Algorithm
 		}
+	}
+	var se *matscale.SuspendedError
+	if errors.As(err, &se) {
+		// Not a failure: the run stopped at its requested cut and the
+		// snapshot is on disk. Exit cleanly with the resume recipe.
+		fmt.Printf("suspended:  at event %d (%d-byte snapshot)\n", se.Events, len(se.Snapshot))
+		fmt.Printf("checkpoint: written to %s; rerun with -resume %s to finish\n", *ckptFile, *ckptFile)
+		return nil
 	}
 	if err != nil {
 		return err

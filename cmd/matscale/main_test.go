@@ -491,3 +491,56 @@ func TestCmdRobust(t *testing.T) {
 		t.Error("unknown machine accepted")
 	}
 }
+
+// The run command's checkpoint flags: suspend to a file, resume from
+// it, and print the same measured quantities as an uninterrupted run.
+func TestCmdRunCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	ck := dir + "/run.ckpt"
+	base := []string{"-alg", "cannon", "-n", "16", "-p", "64", "-backend", "events"}
+
+	full, err := capture(t, func() error { return cmdRun(base) })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := capture(t, func() error {
+		return cmdRun(append(base, "-checkpoint", ck, "-suspend-after", "50"))
+	})
+	if err != nil {
+		t.Fatalf("suspension must exit cleanly, got %v", err)
+	}
+	if !strings.Contains(out, "suspended:  at event 50") || !strings.Contains(out, "-resume") {
+		t.Fatalf("suspension output malformed:\n%s", out)
+	}
+	if _, err := os.Stat(ck); err != nil {
+		t.Fatalf("checkpoint file missing: %v", err)
+	}
+
+	resumed, err := capture(t, func() error {
+		return cmdRun(append(base, "-resume", ck))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(full, "\n") {
+		if strings.HasPrefix(line, "Tp:") || strings.HasPrefix(line, "verified:") {
+			if !strings.Contains(resumed, line) {
+				t.Errorf("resumed output missing %q:\n%s", line, resumed)
+			}
+		}
+	}
+
+	// Misuse is rejected, not ignored.
+	if _, err := capture(t, func() error {
+		return cmdRun(append(base, "-suspend-after", "50"))
+	}); err == nil {
+		t.Error("-suspend-after without -checkpoint accepted")
+	}
+	if _, err := capture(t, func() error {
+		return cmdRun([]string{"-alg", "cannon", "-n", "16", "-p", "64",
+			"-checkpoint", ck, "-suspend-after", "50"})
+	}); err == nil {
+		t.Error("checkpoint on the goroutines backend accepted")
+	}
+}

@@ -52,7 +52,9 @@ const (
 // results must not depend on the host worker count, and the sweep
 // server whose cached responses must be byte-identical to cold ones —
 // its only wall-clock access is the injected server.Clock, so job
-// results stay a pure function of (spec, seed, backend).
+// results stay a pure function of (spec, seed, backend) — and the
+// checkpoint container, whose canonical encodings the des backend's
+// verified restore byte-compares.
 var deterministicPkgs = map[string]bool{
 	SimulatorPath:                   true,
 	DesPath:                         true,
@@ -63,6 +65,7 @@ var deterministicPkgs = map[string]bool{
 	"matscale/internal/experiments": true,
 	"matscale/internal/sweep":       true,
 	"matscale/internal/server":      true,
+	"matscale/internal/checkpoint":  true,
 }
 
 // chargedPkgs lists the algorithm/collective packages in which all

@@ -1,0 +1,60 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzCheckpointRoundTrip drives the container through both directions:
+//
+//  1. Interpret the fuzz input as (kind, version, meta pair, payload),
+//     encode a snapshot from it, decode the encoding, and require the
+//     decode to reproduce the snapshot exactly.
+//  2. Interpret the same input as a raw container and require Decode to
+//     either fail with a typed error or yield a snapshot that
+//     re-encodes to the identical bytes — never to panic, and never to
+//     accept bytes it cannot reproduce.
+func FuzzCheckpointRoundTrip(f *testing.F) {
+	f.Add([]byte{}, "matscale/des-run", uint32(1), "machine", "mesh(8x8)", []byte{1, 2, 3})
+	f.Add(sample().Encode(), "", uint32(0), "", "", []byte{})
+	f.Add([]byte("MSCKPT01 but then nonsense"), "k", uint32(7), "a", "b", []byte(nil))
+
+	f.Fuzz(func(t *testing.T, raw []byte, kind string, version uint32, mk, mv string, payload []byte) {
+		s := &Snapshot{Kind: kind, Version: version, Payload: payload}
+		if mk != "" || mv != "" {
+			s.Meta = map[string]string{mk: mv}
+		}
+		enc := s.Encode()
+		got, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode(Encode(s)) failed: %v", err)
+		}
+		if got.Kind != s.Kind || got.Version != s.Version || !bytes.Equal(got.Payload, s.Payload) {
+			t.Fatalf("round trip mismatch: got %+v want %+v", got, s)
+		}
+		if len(got.Meta) != len(s.Meta) {
+			t.Fatalf("meta mismatch: got %v want %v", got.Meta, s.Meta)
+		}
+		for k, v := range s.Meta {
+			if got.Meta[k] != v {
+				t.Fatalf("meta[%q] = %q want %q", k, got.Meta[k], v)
+			}
+		}
+		if !bytes.Equal(got.Encode(), enc) {
+			t.Fatal("re-encode of decoded snapshot differs")
+		}
+
+		ds, err := Decode(raw)
+		if err != nil {
+			if !errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrIntegrity) &&
+				err.Error() == "" {
+				t.Fatalf("Decode(raw): empty error")
+			}
+			return
+		}
+		if !bytes.Equal(ds.Encode(), raw) {
+			t.Fatal("accepted container does not re-encode to its own bytes")
+		}
+	})
+}

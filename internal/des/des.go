@@ -30,6 +30,7 @@
 package des
 
 import (
+	"bytes"
 	"fmt"
 
 	"matscale/internal/machine"
@@ -38,6 +39,10 @@ import (
 
 func init() {
 	simulator.RegisterBackend(machine.BackendEvents, run)
+	// The fiber tier is also the checkpoint-capable runner: strict
+	// handoff means every instant the event loop holds control is a
+	// Chandy–Lamport consistent cut (see checkpoint.go).
+	simulator.RegisterCheckpointBackend(machine.BackendEvents, run)
 }
 
 // key matches a message within one destination's mailbox.
@@ -107,6 +112,10 @@ type engine struct {
 	fibers []*fiber
 	heap   eventHeap
 	seq    uint64
+	// popped counts event-loop dispatches (heap pops). It is the
+	// coordinate of the checkpoint cut: "suspend after N events" and
+	// "this snapshot was cut at event N" both count in it.
+	popped uint64
 	// yield carries control from a fiber back to the event loop; the
 	// value is the yielding rank. A fiber yields when it blocks in
 	// Await or exits, never in between.
@@ -232,8 +241,23 @@ func Run(m *machine.Machine, body func(*simulator.Proc)) (*simulator.Result, err
 	return run(m, body, m.CollectTrace)
 }
 
-// run is the registered backend entry: m is already validated.
+// run is the registered backend entry: m is already validated. The
+// machine's CheckpointControl (nil for plain runs) selects suspension
+// and resume behavior; see checkpoint.go for the cut and its encoding.
 func run(m *machine.Machine, body func(*simulator.Proc), collectTrace bool) (*simulator.Result, error) {
+	ck := m.Checkpoint
+	var snap *desSnapshot
+	if ck != nil && ck.Resume != nil {
+		var err error
+		snap, err = decodeDESSnapshot(ck.Resume, m, collectTrace)
+		if err != nil {
+			return nil, err
+		}
+		if ck.StopAfter > 0 && ck.StopAfter <= snap.events {
+			return nil, &simulator.ResumeMismatchError{Reason: fmt.Sprintf(
+				"StopAfter=%d is not beyond the snapshot cut at event %d", ck.StopAfter, snap.events)}
+		}
+	}
 	p := m.P()
 	e := &engine{m: m, yield: make(chan int), alive: p}
 	if m.TrackContention {
@@ -265,6 +289,12 @@ func run(m *machine.Machine, body func(*simulator.Proc), collectTrace bool) (*si
 				f.state = stateExited
 				e.yield <- f.rank
 			}()
+			if e.aborted {
+				// First resumed by a drain (suspension or failure):
+				// unwind immediately instead of executing the body
+				// against an engine that has stopped simulating.
+				simulator.AbortPanic(e.failed)
+			}
 			body(f.proc)
 		}(f)
 	}
@@ -287,12 +317,57 @@ func run(m *machine.Machine, body func(*simulator.Proc), collectTrace bool) (*si
 		}
 	}
 
+	// drain poison-resumes every remaining fiber so each unwinds (or
+	// aborts immediately, if never started) and its goroutine exits —
+	// the event backend must never leak parked coroutines. It is used
+	// both after a failure and to dismantle a suspended engine, whose
+	// snapshot is captured before the drain mutates anything.
+	drain := func() {
+		for e.alive > 0 {
+			for _, f := range e.fibers {
+				if f.state != stateExited {
+					resumeAndWait(f)
+					break
+				}
+			}
+		}
+	}
+
 	// The event loop: always resume the least-virtual-time runnable
 	// rank. The loop ends when no rank is runnable — completion when
 	// none is left alive, deadlock when blocked ranks remain — or on
-	// the first failure.
+	// the first failure. Whenever the loop holds control every fiber is
+	// parked and every in-flight message sits in a mailbox FIFO or on
+	// the heap, so the top of the loop is a consistent cut: the place
+	// a resume is verified and a suspension is taken.
 	for e.failed == nil && e.heap.len() > 0 {
+		if snap != nil && e.popped == snap.events {
+			// Replay reached the snapshot's cut: the re-encoded state
+			// must reproduce the snapshot byte for byte, or the
+			// snapshot belongs to a different program or build.
+			if !bytes.Equal(encodeState(e, procs), snap.state) {
+				e.aborted = true
+				e.failed = errSuspendDrain
+				drain()
+				return nil, &simulator.ResumeMismatchError{Reason: fmt.Sprintf(
+					"replayed state at event %d does not match the snapshot: same machine fingerprint, different program or build", snap.events)}
+			}
+			snap = nil
+		}
+		if ck != nil && ck.StopAfter > 0 && e.popped == ck.StopAfter {
+			data := encodeDESSnapshot(e, procs, m, collectTrace)
+			e.aborted = true
+			e.failed = errSuspendDrain
+			drain()
+			if ck.Sink != nil {
+				if err := ck.Sink(data, ck.StopAfter); err != nil {
+					return nil, fmt.Errorf("des: checkpoint sink: %w", err)
+				}
+			}
+			return nil, &simulator.SuspendedError{Events: ck.StopAfter, Snapshot: data}
+		}
 		ev := e.heap.pop()
+		e.popped++
 		f := e.fibers[ev.rank]
 		f.ready = false
 		if f.state == stateExited {
@@ -311,20 +386,20 @@ func run(m *machine.Machine, body func(*simulator.Proc), collectTrace bool) (*si
 		}
 	}
 
-	// Drain after a failure: poison-resume every remaining fiber so
-	// each unwinds (or runs to completion) and its goroutine exits —
-	// the event backend must never leak parked coroutines.
-	for e.alive > 0 {
-		for _, f := range e.fibers {
-			if f.state != stateExited {
-				resumeAndWait(f)
-				break
-			}
-		}
-	}
+	// Drain after a failure (and after clean completion, where it is a
+	// no-op: alive is already zero).
+	drain()
 
 	if e.failed != nil {
+		if snap != nil {
+			return nil, &simulator.ResumeMismatchError{Reason: fmt.Sprintf(
+				"replay failed before reaching the snapshot cut at event %d: %v", snap.events, e.failed)}
+		}
 		return nil, e.failed
+	}
+	if snap != nil {
+		return nil, &simulator.ResumeMismatchError{Reason: fmt.Sprintf(
+			"run completed after %d events, before reaching the snapshot cut at event %d", e.popped, snap.events)}
 	}
 	unconsumed := 0
 	for _, f := range e.fibers {

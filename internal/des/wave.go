@@ -73,7 +73,7 @@ type SystolicSpec struct {
 // send). Stragglers and link ts/tw perturbations are supported — they
 // only vary the per-rank wave coefficients.
 func SystolicEligible(m *machine.Machine) bool {
-	return m.Backend == machine.BackendEvents &&
+	return m.Backend == machine.BackendEvents && m.Checkpoint == nil &&
 		!m.CollectMetrics && !m.CollectTrace && !m.TrackContention &&
 		(m.Faults == nil || m.Faults.Loss == 0)
 }
@@ -85,7 +85,7 @@ func RunSystolic(m *machine.Machine, spec SystolicSpec) (*simulator.Result, erro
 		return nil, err
 	}
 	if !SystolicEligible(m) {
-		return nil, fmt.Errorf("des: machine not eligible for the systolic tier (needs events backend, no metrics/trace/contention/loss)")
+		return nil, fmt.Errorf("des: machine not eligible for the systolic tier (needs events backend, no metrics/trace/contention/loss/checkpoint)")
 	}
 	p := spec.P
 	if p != m.P() {

@@ -139,6 +139,34 @@ type Machine struct {
 	// faults, program) triple reproduces byte-identical runs. See
 	// internal/faults and docs/FAULTS.md.
 	Faults *faults.Config
+	// Checkpoint, when non-nil, asks a checkpoint-capable backend to
+	// suspend and/or resume the run at a consistent cut. It rides on
+	// the Machine for the same reason the observability flags do: the
+	// Machine is the one context every entry point receives, and
+	// checkpointing changes no measured quantity — a resumed run is
+	// byte-identical to an uninterrupted one. Backends without the
+	// capability reject a non-nil Checkpoint with a typed error
+	// (simulator.UnsupportedCapabilityError) instead of ignoring it.
+	Checkpoint *CheckpointControl
+}
+
+// CheckpointControl instructs a checkpoint-capable backend when to cut
+// a run and where to deliver or pick up the snapshot. The encoded
+// snapshot format is owned by internal/checkpoint; this struct is
+// plain data so the machine package stays dependency-free.
+type CheckpointControl struct {
+	// StopAfter, when nonzero, suspends the run at the consistent cut
+	// reached after exactly StopAfter event-loop dispatches. The run
+	// then returns a simulator.SuspendedError carrying the snapshot.
+	// A run that completes in fewer dispatches finishes normally.
+	StopAfter uint64
+	// Resume, when non-nil, holds an encoded snapshot a previous run
+	// suspended with; the backend restores it and verifies the restored
+	// state byte-for-byte against the snapshot before continuing.
+	Resume []byte
+	// Sink, when non-nil, receives the encoded snapshot at suspension,
+	// before the run returns. A sink error fails the run.
+	Sink func(snapshot []byte, events uint64) error
 }
 
 // WithFaults returns a copy of m running under the fault scenario f
@@ -242,6 +270,9 @@ func (m *Machine) Validate() error {
 	}
 	if err := m.Faults.Validate(); err != nil {
 		return err
+	}
+	if c := m.Checkpoint; c != nil && c.StopAfter == 0 && c.Resume == nil {
+		return fmt.Errorf("machine: checkpoint control with neither StopAfter nor Resume does nothing; drop it or set one")
 	}
 	return nil
 }

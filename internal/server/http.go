@@ -11,7 +11,7 @@ import (
 	"matscale/internal/sweep"
 )
 
-// SubmitRequest is the POST /v1/sweeps body: the sweep spec plus an
+// SubmitRequest is the POST /v1/jobs body: the sweep spec plus an
 // optional backend name ("goroutines" or "events"; the server default
 // when empty).
 type SubmitRequest struct {
@@ -33,17 +33,28 @@ type apiError struct {
 	Kind  string `json:"kind"`
 }
 
-// Handler returns the server's HTTP API:
+// Handler returns the server's HTTP API. Jobs are a uniform resource
+// with POST verb endpoints for lifecycle control:
 //
-//	POST /v1/sweeps              submit a SweepSpec; 202 + job ID
-//	GET  /v1/sweeps/{id}         job status snapshot
-//	GET  /v1/sweeps/{id}/result  completed sweep as JSON (byte-identical
-//	                             for cache hits and misses)
-//	GET  /v1/sweeps/{id}/events  SSE stream of state/progress events
+//	POST /v1/jobs                submit a SweepSpec; 202 + job ID
+//	GET  /v1/jobs/{id}           job status snapshot
+//	GET  /v1/jobs/{id}/result    completed sweep as JSON (byte-identical
+//	                             for cache hits and misses, and for
+//	                             resumed and uninterrupted runs)
+//	GET  /v1/jobs/{id}/events    SSE stream of state/progress events
+//	POST /v1/jobs/{id}/suspend   stop at the next cell boundary with a
+//	                             resumable checkpoint; 200 + status
+//	POST /v1/jobs/{id}/resume    re-enqueue a suspended job; 200 + status
+//	POST /v1/jobs/{id}/cancel    terminate the job; 200 + status
 //	GET  /v1/stats               admission, execution and cache counters
 //	GET  /v1/healthz             liveness probe
 //
-// See docs/SERVER.md for the full protocol.
+// The pre-redesign /v1/sweeps… routes remain as thin aliases of the
+// corresponding /v1/jobs… handlers.
+//
+// Deprecated routes aside, every error body is {"error", "kind"} with
+// kind an ErrorKind token and the status its HTTPStatus. See
+// docs/SERVER.md for the full protocol and the job state machine.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -53,11 +64,39 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
-	mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
-	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus)
-	mux.HandleFunc("GET /v1/sweeps/{id}/result", s.handleResult)
-	mux.HandleFunc("GET /v1/sweeps/{id}/events", s.handleEvents)
+	// /v1/sweeps is the deprecated alias of /v1/jobs: same handlers,
+	// same bodies, kept for pre-redesign clients.
+	for _, root := range []string{"/v1/jobs", "/v1/sweeps"} {
+		mux.HandleFunc("POST "+root, s.handleSubmit)
+		mux.HandleFunc("GET "+root+"/{id}", s.handleStatus)
+		mux.HandleFunc("GET "+root+"/{id}/result", s.handleResult)
+		mux.HandleFunc("GET "+root+"/{id}/events", s.handleEvents)
+		mux.HandleFunc("POST "+root+"/{id}/suspend", s.handleVerb("suspend", s.Suspend))
+		mux.HandleFunc("POST "+root+"/{id}/resume", s.handleVerb("resume", s.Resume))
+		mux.HandleFunc("POST "+root+"/{id}/cancel", s.handleVerb("cancel", s.Cancel))
+	}
 	return mux
+}
+
+// handleVerb adapts one job-control method into its POST endpoint: on
+// success the response is the job's post-transition status snapshot
+// (for an asynchronous transition — suspending or cancelling a running
+// job — the snapshot may still show the old state; subscribe to
+// events or poll for the landing).
+func (s *Server) handleVerb(verb string, apply func(id string) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if err := apply(id); err != nil {
+			writeError(w, err)
+			return
+		}
+		j, ok := s.Job(id)
+		if !ok { // evicted between the verb and the snapshot
+			writeError(w, &UnknownJobError{ID: id})
+			return
+		}
+		writeJSON(w, http.StatusOK, j.Status())
+	}
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -79,42 +118,30 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	j, err := s.Submit(&req.Spec, backend)
 	if err != nil {
-		writeSubmitError(w, err)
+		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, SubmitResponse{ID: j.ID(), Cells: j.Total(), State: j.Status().State})
 }
 
-// writeSubmitError maps the typed admission errors onto status codes
-// and kinds.
-func writeSubmitError(w http.ResponseWriter, err error) {
-	var (
-		qf *QueueFullError
-		rl *RateLimitedError
-		sd *ShuttingDownError
-		bs *BadSpecError
-	)
+// writeError maps any typed server error onto its kind's status code
+// and wire token, attaching Retry-After where a retry can succeed.
+func writeError(w http.ResponseWriter, err error) {
+	k := KindOf(err)
+	var rl *RateLimitedError
 	switch {
-	case errors.As(err, &qf):
-		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error(), Kind: "queue_full"})
 	case errors.As(err, &rl):
-		sec := int(rl.RetryAfter.Seconds()) + 1
-		w.Header().Set("Retry-After", strconv.Itoa(sec))
-		writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error(), Kind: "rate_limited"})
-	case errors.As(err, &sd):
-		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error(), Kind: "shutting_down"})
-	case errors.As(err, &bs):
-		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error(), Kind: "bad_spec"})
-	default:
-		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error(), Kind: "internal"})
+		w.Header().Set("Retry-After", strconv.Itoa(int(rl.RetryAfter.Seconds())+1))
+	case k == KindQueueFull, k == KindNotDone:
+		w.Header().Set("Retry-After", "1")
 	}
+	writeJSON(w, k.HTTPStatus(), apiError{Error: err.Error(), Kind: k.String()})
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.Job(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job", Kind: "unknown_job"})
+		writeError(w, &UnknownJobError{ID: r.PathValue("id")})
 		return
 	}
 	writeJSON(w, http.StatusOK, j.Status())
@@ -123,12 +150,11 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.Job(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, apiError{Error: "unknown job", Kind: "unknown_job"})
+		writeError(w, &UnknownJobError{ID: r.PathValue("id")})
 		return
 	}
-	st := j.Status()
-	switch st.State {
-	case StateDone.String():
+	switch st := j.State(); {
+	case st == StateDone:
 		res, _ := j.Result()
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusOK)
@@ -138,15 +164,16 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		if err := res.WriteJSON(w); err != nil {
 			return // client went away mid-body
 		}
-	case StateFailed.String():
-		code := http.StatusInternalServerError
-		if st.ErrorKind == "job_timeout" {
-			code = http.StatusGatewayTimeout
-		}
-		writeJSON(w, code, apiError{Error: st.Error, Kind: st.ErrorKind})
+	case st == StateSuspended:
+		writeJSON(w, KindSuspended.HTTPStatus(), apiError{
+			Error: "job suspended; resume it to continue", Kind: KindSuspended.String()})
+	case st.Terminal(): // failed or cancelled: surface the typed job error
+		_, jerr := j.Result()
+		writeError(w, jerr)
 	default:
 		w.Header().Set("Retry-After", "1")
-		writeJSON(w, http.StatusConflict, apiError{Error: "job not finished: " + st.State, Kind: "not_done"})
+		writeJSON(w, KindNotDone.HTTPStatus(), apiError{
+			Error: "job not finished: " + st.String(), Kind: KindNotDone.String()})
 	}
 }
 

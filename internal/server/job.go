@@ -7,7 +7,15 @@ import (
 	"matscale/internal/sweep"
 )
 
-// State is a job's position in its lifecycle.
+// State is a job's position in its lifecycle. The machine is
+//
+//	queued → running → {suspended, done, failed, cancelled}
+//	suspended → {queued, cancelled}
+//
+// plus the shortcuts queued → suspended (suspend before a worker
+// claims the job) and queued → cancelled. Done, failed and cancelled
+// are terminal; suspended is not — a suspended job holds a checkpoint
+// and resumes through the queue. See docs/SERVER.md for the diagram.
 type State int
 
 const (
@@ -19,6 +27,11 @@ const (
 	StateDone
 	// StateFailed: finished with an error (sweep failure or timeout).
 	StateFailed
+	// StateSuspended: stopped at a cell boundary with a checkpoint;
+	// resumable. Not terminal — subscribers stay attached.
+	StateSuspended
+	// StateCancelled: terminated by the cancel verb.
+	StateCancelled
 )
 
 // String renders the state for status payloads.
@@ -32,13 +45,20 @@ func (s State) String() string {
 		return "done"
 	case StateFailed:
 		return "failed"
+	case StateSuspended:
+		return "suspended"
+	case StateCancelled:
+		return "cancelled"
 	default:
 		return "unknown"
 	}
 }
 
-// Terminal reports whether the state is final.
-func (s State) Terminal() bool { return s == StateDone || s == StateFailed }
+// Terminal reports whether the state is final. Suspended is not: the
+// job can resume.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
 
 // Event is one message on a job's progress stream; the SSE layer
 // serializes it as the data of an `event: <Type>` frame.
@@ -77,6 +97,19 @@ type Job struct {
 	subs     map[int]chan Event
 	nextSub  int
 	finished chan struct{}
+
+	// checkpoint is the suspension payload: set when the job enters
+	// StateSuspended, consumed as the resume seed by the next run
+	// attempt, cleared on terminal transitions.
+	checkpoint *sweep.Checkpoint
+	// suspendCh and cancelCh belong to the current run attempt (created
+	// by claimRun); closing them asks the sweep to stop at the next cell
+	// boundary. suspending/canceling latch the close-once semantics and
+	// record which verb was asked.
+	suspendCh  chan struct{}
+	cancelCh   chan struct{}
+	suspending bool
+	canceling  bool
 }
 
 // ID returns the server-assigned job identifier.
@@ -126,17 +159,94 @@ func (j *Job) Status() Status {
 	}
 	if j.err != nil {
 		st.Error = j.err.Error()
-		st.ErrorKind = errorKind(j.err)
+		st.ErrorKind = KindOf(j.err).String()
 	}
 	return st
 }
 
-// setState publishes a lifecycle transition.
-func (j *Job) setState(s State) {
+// State returns the job's current lifecycle state.
+func (j *Job) State() State {
 	j.mu.Lock()
-	j.state = s
-	ev := Event{Type: "state", State: s.String(), Done: j.done, Total: j.total}
-	j.broadcastLocked(ev)
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Checkpoint returns the suspension checkpoint of a suspended job, nil
+// otherwise.
+func (j *Job) Checkpoint() *sweep.Checkpoint {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateSuspended {
+		return nil
+	}
+	return j.checkpoint
+}
+
+// claimRun moves a queued job to running and arms a fresh attempt's
+// suspend/cancel channels. It returns false for any other state — the
+// dedupe that makes stale queue entries harmless: a job suspended or
+// cancelled while queued (and possibly re-enqueued since) is claimed
+// by exactly one worker pop, and every other pop is a no-op.
+func (j *Job) claimRun() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.suspendCh = make(chan struct{})
+	j.cancelCh = make(chan struct{})
+	j.suspending, j.canceling = false, false
+	j.broadcastLocked(Event{Type: "state", State: StateRunning.String(), Done: j.done, Total: j.total})
+	return true
+}
+
+// requestSuspend asks the current run attempt to stop at the next cell
+// boundary; a no-op unless the job is running. Idempotent.
+func (j *Job) requestSuspend() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == StateRunning && !j.suspending {
+		j.suspending = true
+		close(j.suspendCh)
+	}
+}
+
+// requestCancel asks the current run attempt to abort at the next cell
+// boundary; a no-op unless the job is running. Idempotent.
+func (j *Job) requestCancel() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state == StateRunning && !j.canceling {
+		j.canceling = true
+		close(j.cancelCh)
+	}
+}
+
+// cancelRequested reports whether the cancel verb reached the current
+// attempt.
+func (j *Job) cancelRequested() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.canceling
+}
+
+// resumeSeed returns the checkpoint the next run attempt resumes from
+// (nil for a first run).
+func (j *Job) resumeSeed() *sweep.Checkpoint {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.checkpoint
+}
+
+// suspend parks the job with its checkpoint. Subscribers are kept —
+// suspension is a lifecycle event on a live job, not an ending — and
+// Finished stays open.
+func (j *Job) suspend(ck *sweep.Checkpoint) {
+	j.mu.Lock()
+	j.state = StateSuspended
+	j.checkpoint = ck
+	j.broadcastLocked(Event{Type: "state", State: StateSuspended.String(), Done: j.done, Total: j.total})
 	j.mu.Unlock()
 }
 
@@ -149,23 +259,28 @@ func (j *Job) publishProgress(done, total int, r sweep.CellResult) {
 	j.mu.Unlock()
 }
 
-// finish moves the job to its terminal state, closes every subscriber
+// finish moves the job to terminal state st, closes every subscriber
 // channel (terminal delivery is the close itself — subscribers then
 // read the outcome from Status), and releases Finished waiters.
-func (j *Job) finish(res *sweep.Result, err error) {
+func (j *Job) finish(st State, res *sweep.Result, err error) {
 	j.mu.Lock()
+	j.finishLocked(st, res, err)
+	j.mu.Unlock()
+	close(j.finished)
+}
+
+// finishLocked is finish's body for callers that must make the
+// state check and the transition atomic (the direct cancel of a
+// queued/suspended job); the caller holds j.mu and must close
+// j.finished after unlocking.
+func (j *Job) finishLocked(st State, res *sweep.Result, err error) {
+	j.state = st
 	j.result, j.err = res, err
-	if err != nil {
-		j.state = StateFailed
-	} else {
-		j.state = StateDone
-	}
+	j.checkpoint = nil
 	for _, ch := range j.subs { //nodetbreak:ordered — independent subscriber channels
 		close(ch)
 	}
 	j.subs = map[int]chan Event{}
-	j.mu.Unlock()
-	close(j.finished)
 }
 
 // broadcastLocked sends ev to every subscriber without blocking,
@@ -200,15 +315,5 @@ func (j *Job) Subscribe() (<-chan Event, func()) {
 		if _, ok := j.subs[id]; ok {
 			delete(j.subs, id)
 		}
-	}
-}
-
-// errorKind classifies a job error for machine-readable payloads.
-func errorKind(err error) string {
-	switch err.(type) {
-	case *JobTimeoutError:
-		return "job_timeout"
-	default:
-		return "sweep_error"
 	}
 }

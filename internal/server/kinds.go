@@ -1,0 +1,122 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+)
+
+// ErrorKind is the machine-readable classification of every error the
+// server surfaces: one enum shared by the typed Go errors, the Status
+// payload's error_kind field, and the HTTP error bodies' kind field.
+// ErrorKind itself implements error, and each typed error's Is method
+// matches its kind, so callers can classify with
+// errors.Is(err, server.KindQueueFull) without naming the concrete
+// type.
+type ErrorKind int
+
+const (
+	// KindSweepError classifies a job that failed inside the sweep
+	// engine; it is also the fallback for errors no other kind claims.
+	KindSweepError ErrorKind = iota
+	// KindInternal is a server-side fault unrelated to the request.
+	KindInternal
+	// KindBadRequest is a malformed request body or parameter.
+	KindBadRequest
+	// KindBadSpec is a spec or backend that failed validation.
+	KindBadSpec
+	// KindQueueFull rejects an admission when the queue is at capacity.
+	KindQueueFull
+	// KindRateLimited rejects an admission beyond the configured rate.
+	KindRateLimited
+	// KindShuttingDown rejects work arriving after Shutdown began.
+	KindShuttingDown
+	// KindJobTimeout classifies a job killed by Config.JobTimeout.
+	KindJobTimeout
+	// KindUnknownJob is a verb or query against an ID the server does
+	// not hold.
+	KindUnknownJob
+	// KindInvalidTransition is a job-control verb the job's current
+	// state does not admit.
+	KindInvalidTransition
+	// KindSuspended marks a request (e.g. for a result) against a job
+	// that is suspended rather than finished.
+	KindSuspended
+	// KindNotDone marks a result request against a job still queued or
+	// running.
+	KindNotDone
+	// KindCanceled classifies a job terminated by the cancel verb.
+	KindCanceled
+)
+
+// String renders the kind as the stable wire token used in JSON
+// payloads ("queue_full", "invalid_transition", …).
+func (k ErrorKind) String() string {
+	switch k {
+	case KindSweepError:
+		return "sweep_error"
+	case KindInternal:
+		return "internal"
+	case KindBadRequest:
+		return "bad_request"
+	case KindBadSpec:
+		return "bad_spec"
+	case KindQueueFull:
+		return "queue_full"
+	case KindRateLimited:
+		return "rate_limited"
+	case KindShuttingDown:
+		return "shutting_down"
+	case KindJobTimeout:
+		return "job_timeout"
+	case KindUnknownJob:
+		return "unknown_job"
+	case KindInvalidTransition:
+		return "invalid_transition"
+	case KindSuspended:
+		return "suspended"
+	case KindNotDone:
+		return "not_done"
+	case KindCanceled:
+		return "canceled"
+	default:
+		return "unknown"
+	}
+}
+
+// Error makes an ErrorKind usable as an errors.Is target; it is never
+// returned as an error itself.
+func (k ErrorKind) Error() string { return "server: " + k.String() }
+
+// HTTPStatus is the status code the HTTP layer pairs with the kind.
+func (k ErrorKind) HTTPStatus() int {
+	switch k {
+	case KindBadRequest, KindBadSpec:
+		return http.StatusBadRequest
+	case KindQueueFull, KindRateLimited:
+		return http.StatusTooManyRequests
+	case KindShuttingDown:
+		return http.StatusServiceUnavailable
+	case KindJobTimeout:
+		return http.StatusGatewayTimeout
+	case KindUnknownJob:
+		return http.StatusNotFound
+	case KindInvalidTransition, KindSuspended, KindNotDone, KindCanceled:
+		return http.StatusConflict
+	default: // KindSweepError, KindInternal
+		return http.StatusInternalServerError
+	}
+}
+
+// kinded is the contract every typed server error fulfills.
+type kinded interface{ Kind() ErrorKind }
+
+// KindOf classifies any error the server can surface. Errors carrying
+// no kind — a sweep engine failure reaching a job's Result — classify
+// as KindSweepError.
+func KindOf(err error) ErrorKind {
+	var k kinded
+	if errors.As(err, &k) {
+		return k.Kind()
+	}
+	return KindSweepError
+}

@@ -1,0 +1,122 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"matscale/internal/sweep"
+)
+
+// Checkpoint persistence. A suspended job is the only server state
+// worth surviving a restart: everything else is either in flight
+// (running jobs drain on Shutdown) or derivable (terminal results
+// re-simulate byte-identically from their specs). Each suspended job
+// owns one file, <CheckpointDir>/<id>.ckpt, holding its encoded
+// sweep.Checkpoint; the integrity hash of the container makes a
+// torn or tampered file a typed startup error instead of silent
+// corruption.
+
+// ckptExt is the checkpoint file suffix; files without it are ignored
+// by the restore scan.
+const ckptExt = ".ckpt"
+
+// ckptPath returns the checkpoint file for a job ID.
+func (s *Server) ckptPath(id string) string {
+	return filepath.Join(s.cfg.CheckpointDir, id+ckptExt)
+}
+
+// persistCheckpoint writes a suspended job's checkpoint durably: the
+// bytes go to a temp file first and land under the final name via
+// rename, so readers (and a restarted server) only ever see a complete
+// file. A no-op without a CheckpointDir.
+func (s *Server) persistCheckpoint(id string, ck *sweep.Checkpoint) error {
+	if s.cfg.CheckpointDir == "" {
+		return nil
+	}
+	data, err := ck.Encode()
+	if err != nil {
+		return fmt.Errorf("server: persist checkpoint for %s: %w", id, err)
+	}
+	path := s.ckptPath(id)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("server: persist checkpoint for %s: %w", id, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("server: persist checkpoint for %s: %w", id, err)
+	}
+	return nil
+}
+
+// removeCheckpoint deletes a job's persisted checkpoint once it is no
+// longer resumable (terminal state). Best-effort: a leftover file only
+// costs a stale suspended job on the next restart, which the operator
+// can cancel.
+func (s *Server) removeCheckpoint(id string) {
+	if s.cfg.CheckpointDir == "" {
+		return
+	}
+	_ = os.Remove(s.ckptPath(id))
+}
+
+// restoreCheckpoints scans CheckpointDir (creating it if absent) and
+// rebuilds each persisted checkpoint as a suspended job under its
+// original ID, advancing the ID counter past the restored ones so new
+// submissions never collide. Called by New before the workers start; a
+// checkpoint that fails to decode or validate aborts construction with
+// a typed error naming the file — the operator decides whether to
+// remove it.
+func (s *Server) restoreCheckpoints() error {
+	if s.cfg.CheckpointDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(s.cfg.CheckpointDir, 0o755); err != nil {
+		return fmt.Errorf("server: checkpoint dir: %w", err)
+	}
+	entries, err := os.ReadDir(s.cfg.CheckpointDir) // sorted by name
+	if err != nil {
+		return fmt.Errorf("server: checkpoint dir: %w", err)
+	}
+	for _, ent := range entries {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, ckptExt) {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(s.cfg.CheckpointDir, name))
+		if err != nil {
+			return fmt.Errorf("server: restore %s: %w", name, err)
+		}
+		ck, err := sweep.DecodeCheckpoint(data)
+		if err != nil {
+			return fmt.Errorf("server: restore %s: %w", name, err)
+		}
+		cells, err := ck.Spec.Cells()
+		if err != nil {
+			return fmt.Errorf("server: restore %s: %w", name, err)
+		}
+		id := strings.TrimSuffix(name, ckptExt)
+		sp := ck.Spec
+		j := &Job{
+			id:         id,
+			spec:       &sp,
+			backend:    ck.Backend,
+			total:      len(cells),
+			state:      StateSuspended,
+			done:       len(ck.Done),
+			checkpoint: ck,
+			finished:   make(chan struct{}),
+			subs:       map[int]chan Event{},
+		}
+		s.jobs[id] = j
+		s.suspended++
+		if rest, ok := strings.CutPrefix(id, "job-"); ok {
+			if n, err := strconv.Atoi(rest); err == nil && n > s.nextID {
+				s.nextID = n
+			}
+		}
+	}
+	return nil
+}

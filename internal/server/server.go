@@ -17,6 +17,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"sync"
@@ -87,13 +88,27 @@ type Config struct {
 	// RetainJobs bounds how many terminal jobs stay queryable; the
 	// oldest-finished are evicted beyond it (0: DefaultRetainJobs).
 	RetainJobs int
+	// SuspendOnTimeout converts JobTimeout expiries into suspensions:
+	// instead of cancelling at the next cell boundary and discarding
+	// every completed cell, the job suspends there with a checkpoint and
+	// can be resumed to finish the remainder. Off, the legacy behavior
+	// applies: the job fails with *JobTimeoutError.
+	SuspendOnTimeout bool
+	// CheckpointDir, when non-empty, persists every suspended job's
+	// checkpoint as <dir>/<id>.ckpt (written to a temp file and renamed,
+	// so a crash never leaves a torn checkpoint) and removes it when the
+	// job reaches a terminal state. New scans the directory and restores
+	// its suspended jobs — IDs included — so suspended work survives a
+	// server restart.
+	CheckpointDir string
 	// Clock injects wall time; nil disables RatePerSec and JobTimeout.
 	Clock Clock
 }
 
-// Typed admission and execution errors. The HTTP layer maps each to a
-// status code and machine-readable kind; embedded callers dispatch
-// with errors.As.
+// Typed admission, job-control and execution errors. Every type
+// carries its ErrorKind — the HTTP layer derives the status code and
+// wire kind from it, and errors.Is(err, Kind…) matches it — so
+// embedded callers can dispatch by kind or by concrete type.
 type (
 	// QueueFullError rejects a submit when the job queue is at
 	// capacity.
@@ -105,27 +120,81 @@ type (
 	ShuttingDownError struct{}
 	// BadSpecError rejects a submit whose spec fails validation.
 	BadSpecError struct{ Err error }
-	// JobTimeoutError fails a job that exceeded Config.JobTimeout.
+	// JobTimeoutError fails a job that exceeded Config.JobTimeout with
+	// SuspendOnTimeout off.
 	JobTimeoutError struct{ Timeout time.Duration }
+	// UnknownJobError rejects a verb or query against an ID the server
+	// does not hold.
+	UnknownJobError struct{ ID string }
+	// InvalidTransitionError rejects a job-control verb the job's
+	// current state does not admit.
+	InvalidTransitionError struct {
+		ID   string
+		From State
+		Verb string
+	}
+	// CanceledError is the terminal error of a job ended by the cancel
+	// verb.
+	CanceledError struct{}
 )
 
 func (e *QueueFullError) Error() string {
 	return fmt.Sprintf("server: job queue full (depth %d)", e.Depth)
 }
 
+func (e *QueueFullError) Kind() ErrorKind { return KindQueueFull }
+
 func (e *RateLimitedError) Error() string {
 	return fmt.Sprintf("server: admission rate limit exceeded (retry in %v)", e.RetryAfter)
 }
 
+func (e *RateLimitedError) Kind() ErrorKind { return KindRateLimited }
+
 func (e *ShuttingDownError) Error() string { return "server: shutting down" }
+
+func (e *ShuttingDownError) Kind() ErrorKind { return KindShuttingDown }
 
 func (e *BadSpecError) Error() string { return "server: invalid spec: " + e.Err.Error() }
 
 func (e *BadSpecError) Unwrap() error { return e.Err }
 
+func (e *BadSpecError) Kind() ErrorKind { return KindBadSpec }
+
 func (e *JobTimeoutError) Error() string {
 	return fmt.Sprintf("server: job exceeded its %v timeout", e.Timeout)
 }
+
+func (e *JobTimeoutError) Kind() ErrorKind { return KindJobTimeout }
+
+func (e *UnknownJobError) Error() string { return "server: unknown job " + e.ID }
+
+func (e *UnknownJobError) Kind() ErrorKind { return KindUnknownJob }
+
+func (e *InvalidTransitionError) Error() string {
+	return fmt.Sprintf("server: cannot %s job %s in state %s", e.Verb, e.ID, e.From)
+}
+
+func (e *InvalidTransitionError) Kind() ErrorKind { return KindInvalidTransition }
+
+func (e *CanceledError) Error() string { return "server: job canceled" }
+
+func (e *CanceledError) Kind() ErrorKind { return KindCanceled }
+
+// kindIs implements the shared Is logic: a typed error matches its own
+// ErrorKind as an errors.Is target.
+func kindIs(e kinded, target error) bool {
+	k, ok := target.(ErrorKind)
+	return ok && k == e.Kind()
+}
+
+func (e *QueueFullError) Is(target error) bool         { return kindIs(e, target) }
+func (e *RateLimitedError) Is(target error) bool       { return kindIs(e, target) }
+func (e *ShuttingDownError) Is(target error) bool      { return kindIs(e, target) }
+func (e *BadSpecError) Is(target error) bool           { return kindIs(e, target) }
+func (e *JobTimeoutError) Is(target error) bool        { return kindIs(e, target) }
+func (e *UnknownJobError) Is(target error) bool        { return kindIs(e, target) }
+func (e *InvalidTransitionError) Is(target error) bool { return kindIs(e, target) }
+func (e *CanceledError) Is(target error) bool          { return kindIs(e, target) }
 
 // Server is the sweep service engine. Construct with New; all methods
 // are safe for concurrent use.
@@ -145,9 +214,11 @@ type Server struct {
 	refilled   bool
 
 	running     int
+	suspended   int // jobs currently in StateSuspended
 	submitted   int
 	completed   int
 	failed      int
+	canceled    int
 	rejQueue    int
 	rejRate     int
 	rejSpec     int
@@ -206,6 +277,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.RatePerSec > 0 {
 		s.tokens = float64(cfg.Burst)
+	}
+	if err := s.restoreCheckpoints(); err != nil {
+		return nil, err
 	}
 	s.wg.Add(cfg.MaxConcurrent)
 	for i := 0; i < cfg.MaxConcurrent; i++ {
@@ -292,6 +366,115 @@ func (s *Server) Job(id string) (*Job, bool) {
 	return j, ok
 }
 
+// Suspend stops a job at its next cell boundary with a resumable
+// checkpoint. A queued job suspends immediately (its checkpoint is
+// empty — no cells ran yet — and its stale queue entry is defused by
+// claimRun); a running job is asked asynchronously and transitions
+// once its in-flight cells finish — poll Status or subscribe for the
+// "suspended" event. Any other state is an *InvalidTransitionError.
+func (s *Server) Suspend(id string) error {
+	j, ok := s.Job(id)
+	if !ok {
+		return &UnknownJobError{ID: id}
+	}
+	j.mu.Lock()
+	switch j.state {
+	case StateQueued:
+		ck := &sweep.Checkpoint{Spec: *j.spec, Backend: j.backend}
+		j.state = StateSuspended
+		j.checkpoint = ck
+		j.broadcastLocked(Event{Type: "state", State: StateSuspended.String(), Done: j.done, Total: j.total})
+		j.mu.Unlock()
+		s.mu.Lock()
+		s.suspended++
+		s.mu.Unlock()
+		return s.persistCheckpoint(id, ck)
+	case StateRunning:
+		j.mu.Unlock()
+		j.requestSuspend()
+		return nil
+	default:
+		from := j.state
+		j.mu.Unlock()
+		return &InvalidTransitionError{ID: id, From: from, Verb: "suspend"}
+	}
+}
+
+// Resume re-enqueues a suspended job; its next run attempt seeds the
+// sweep with the checkpoint, so completed cells are not re-simulated
+// and the final result is byte-identical to an uninterrupted run. The
+// queue bound still applies (*QueueFullError), and a draining server
+// refuses (*ShuttingDownError); the admission rate limit does not —
+// the job was already admitted once.
+func (s *Server) Resume(id string) error {
+	j, ok := s.Job(id)
+	if !ok {
+		return &UnknownJobError{ID: id}
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return &ShuttingDownError{}
+	}
+	j.mu.Lock()
+	if j.state != StateSuspended {
+		from := j.state
+		j.mu.Unlock()
+		s.mu.Unlock()
+		return &InvalidTransitionError{ID: id, From: from, Verb: "resume"}
+	}
+	select {
+	case s.queue <- j:
+		j.state = StateQueued
+		j.broadcastLocked(Event{Type: "state", State: StateQueued.String(), Done: j.done, Total: j.total})
+		j.mu.Unlock()
+		s.suspended--
+		s.mu.Unlock()
+		return nil
+	default:
+		j.mu.Unlock()
+		depth := cap(s.queue)
+		s.mu.Unlock()
+		return &QueueFullError{Depth: depth}
+	}
+}
+
+// Cancel terminates a job. Queued and suspended jobs cancel
+// immediately (their persisted checkpoint, if any, is removed); a
+// running job is asked asynchronously and fails over to
+// StateCancelled at its next cell boundary. Terminal states reject
+// with *InvalidTransitionError.
+func (s *Server) Cancel(id string) error {
+	j, ok := s.Job(id)
+	if !ok {
+		return &UnknownJobError{ID: id}
+	}
+	j.mu.Lock()
+	switch j.state {
+	case StateQueued, StateSuspended:
+		wasSuspended := j.state == StateSuspended
+		j.finishLocked(StateCancelled, nil, &CanceledError{})
+		j.mu.Unlock()
+		close(j.finished)
+		s.mu.Lock()
+		s.canceled++
+		if wasSuspended {
+			s.suspended--
+		}
+		s.mu.Unlock()
+		s.retire(id)
+		return nil
+	case StateRunning:
+		j.mu.Unlock()
+		j.requestCancel()
+		return nil
+	default:
+		from := j.state
+		j.mu.Unlock()
+		return &InvalidTransitionError{ID: id, From: from, Verb: "cancel"}
+	}
+}
+
 // Shutdown stops admitting jobs (submits return *ShuttingDownError)
 // and blocks until every already-admitted job — running and queued —
 // has drained. Safe to call more than once.
@@ -313,29 +496,33 @@ func (s *Server) worker() {
 	}
 }
 
-// runJob executes one job on the sweep engine, publishing progress and
-// enforcing the per-job timeout. The timeout aborts at the next cell
-// boundary (cells are the cancel granularity), so the worker is freed
-// after at most one in-flight cell finishes.
+// runJob executes one run attempt of a job, publishing progress and
+// enforcing the per-job timeout. Suspension, cancellation and timeout
+// all act at the next cell boundary (cells are the stop granularity),
+// so the worker is freed after at most one in-flight cell finishes. A
+// stale queue entry — the job was suspended or cancelled while queued
+// — fails the claim and is skipped.
 func (s *Server) runJob(j *Job) {
+	if !j.claimRun() {
+		return
+	}
 	s.mu.Lock()
 	s.running++
 	s.mu.Unlock()
-	j.setState(StateRunning)
 
 	opts := sweep.Options{
 		Workers: s.cfg.SweepWorkers,
 		Backend: j.backend,
 		Cache:   s.cache,
+		Suspend: j.suspendCh,
+		Cancel:  j.cancelCh,
+		Resume:  j.resumeSeed(),
 		Progress: func(done, total int, r sweep.CellResult) {
 			j.publishProgress(done, total, r)
 		},
 	}
-	var cancel chan struct{}
 	var timeout <-chan time.Time
 	if s.cfg.JobTimeout > 0 {
-		cancel = make(chan struct{})
-		opts.Cancel = cancel
 		timeout = s.cfg.Clock.After(s.cfg.JobTimeout)
 	}
 
@@ -350,36 +537,82 @@ func (s *Server) runJob(j *Job) {
 	}()
 
 	var out outcome
+	timedOut := false
 	if timeout == nil {
 		out = <-resCh
 	} else {
 		select {
 		case out = <-resCh:
 		case <-timeout:
-			close(cancel)
-			out = <-resCh // at most one cell still in flight
-			if out.err != nil {
-				out = outcome{nil, &JobTimeoutError{Timeout: s.cfg.JobTimeout}}
+			timedOut = true
+			if s.cfg.SuspendOnTimeout {
+				// Keep the completed cells: suspend with a checkpoint
+				// instead of cancelling and discarding them.
+				j.requestSuspend()
+			} else {
+				j.requestCancel()
 			}
+			out = <-resCh // at most one cell still in flight
 		}
 	}
 
 	s.mu.Lock()
 	s.running--
-	if out.err != nil {
-		s.failed++
-	} else {
-		s.completed++
-		s.cellsServed += j.total
-	}
 	s.mu.Unlock()
-	j.finish(out.res, out.err)
-	s.retire(j.id)
+	s.settle(j, out.res, out.err, timedOut)
 }
 
-// retire records a terminal job for retention accounting and evicts
-// the oldest terminal jobs beyond Config.RetainJobs.
+// settle maps a run attempt's outcome onto the job's next state. The
+// precedence when stop requests raced the run: a completed sweep
+// always wins (nothing to discard or resume); then a suspension with
+// its checkpoint; then the legacy timeout failure (a timeout closes
+// the same cancel channel the cancel verb does, so it must be
+// classified before the verb); then an explicit cancel.
+func (s *Server) settle(j *Job, res *sweep.Result, err error, timedOut bool) {
+	var se *sweep.SuspendedError
+	switch {
+	case err == nil:
+		s.bump(func() { s.completed++; s.cellsServed += j.total })
+		j.finish(StateDone, res, nil)
+		s.retire(j.id)
+	case errors.As(err, &se):
+		if perr := s.persistCheckpoint(j.id, se.Checkpoint); perr != nil {
+			// Suspending without the durability the operator configured
+			// would silently break restart-resume; fail the job instead.
+			s.bump(func() { s.failed++ })
+			j.finish(StateFailed, nil, perr)
+			s.retire(j.id)
+			return
+		}
+		s.bump(func() { s.suspended++ })
+		j.suspend(se.Checkpoint)
+	case timedOut && !s.cfg.SuspendOnTimeout:
+		s.bump(func() { s.failed++ })
+		j.finish(StateFailed, nil, &JobTimeoutError{Timeout: s.cfg.JobTimeout})
+		s.retire(j.id)
+	case j.cancelRequested():
+		s.bump(func() { s.canceled++ })
+		j.finish(StateCancelled, nil, &CanceledError{})
+		s.retire(j.id)
+	default:
+		s.bump(func() { s.failed++ })
+		j.finish(StateFailed, nil, err)
+		s.retire(j.id)
+	}
+}
+
+// bump runs one counter update under the server lock.
+func (s *Server) bump(fn func()) {
+	s.mu.Lock()
+	fn()
+	s.mu.Unlock()
+}
+
+// retire records a terminal job for retention accounting, deletes its
+// persisted checkpoint (it is no longer resumable), and evicts the
+// oldest terminal jobs beyond Config.RetainJobs.
 func (s *Server) retire(id string) {
+	s.removeCheckpoint(id)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.doneOrder = append(s.doneOrder, id)
@@ -397,11 +630,15 @@ type Stats struct {
 	QueueDepth int `json:"queue_depth"`
 	Queued     int `json:"queued"`
 	Running    int `json:"running"`
-	// Submitted counts admissions; Completed/Failed are terminal
-	// outcomes; the Rejected* counters split the refusals by cause.
+	// Suspended counts jobs currently parked with a checkpoint.
+	Suspended int `json:"suspended"`
+	// Submitted counts admissions; Completed/Failed/Canceled are
+	// terminal outcomes; the Rejected* counters split the refusals by
+	// cause.
 	Submitted     int `json:"submitted"`
 	Completed     int `json:"completed"`
 	Failed        int `json:"failed"`
+	Canceled      int `json:"canceled"`
 	RejectedQueue int `json:"rejected_queue_full"`
 	RejectedRate  int `json:"rejected_rate_limited"`
 	RejectedSpec  int `json:"rejected_bad_spec"`
@@ -423,9 +660,11 @@ func (s *Server) Stats() Stats {
 		QueueDepth:    cap(s.queue),
 		Queued:        len(s.queue),
 		Running:       s.running,
+		Suspended:     s.suspended,
 		Submitted:     s.submitted,
 		Completed:     s.completed,
 		Failed:        s.failed,
+		Canceled:      s.canceled,
 		RejectedQueue: s.rejQueue,
 		RejectedRate:  s.rejRate,
 		RejectedSpec:  s.rejSpec,

@@ -1,0 +1,142 @@
+package simulator
+
+import (
+	"fmt"
+	"sort"
+
+	"matscale/internal/checkpoint"
+	"matscale/internal/machine"
+)
+
+// This file is the backend-capability layer of checkpoint/resume: a
+// second registry next to the plain backend registry, the typed errors
+// the capability surfaces, and the Proc state encoding every
+// checkpoint-capable engine embeds in its snapshots.
+//
+// A backend that registers here promises the CheckpointControl
+// semantics documented on machine.CheckpointControl: suspend at the
+// requested consistent cut with a self-describing snapshot, and
+// restore a snapshot such that the resumed run's Result, Metrics, CSV
+// and Chrome-trace bytes are identical to an uninterrupted run's. The
+// goroutine backend deliberately does not register: its mailboxes and
+// buffer pool are scheduled by the host and have no deterministic cut
+// (sweeps over it checkpoint at cell granularity instead — see
+// internal/sweep).
+
+// checkpointBackends maps a machine.Backend to its checkpoint-capable
+// runner. Like the plain registry it is written from init functions
+// only and read-only afterwards.
+var checkpointBackends = map[machine.Backend]RunFunc{}
+
+// RegisterCheckpointBackend installs the checkpoint-capable runner for
+// backend b. The runner reads its CheckpointControl from the machine.
+func RegisterCheckpointBackend(b machine.Backend, fn RunFunc) {
+	checkpointBackends[b] = fn
+}
+
+// CheckpointCapable reports whether backend b linked into this binary
+// supports checkpoint/resume.
+func CheckpointCapable(b machine.Backend) bool {
+	return checkpointBackends[b] != nil
+}
+
+// UnsupportedCapabilityError reports an option demanded of a backend
+// that does not implement it. It replaces silently ignoring the
+// option: a caller that asked for a checkpoint must not believe it is
+// getting one.
+type UnsupportedCapabilityError struct {
+	Backend    machine.Backend
+	Capability string
+	// Reason, when non-empty, explains why the backend cannot comply.
+	Reason string
+}
+
+func (e *UnsupportedCapabilityError) Error() string {
+	s := fmt.Sprintf("simulator: backend %q does not support %s", e.Backend, e.Capability)
+	if e.Reason != "" {
+		s += ": " + e.Reason
+	}
+	return s
+}
+
+// SuspendedError reports a run stopped at a consistent cut on request
+// (machine.CheckpointControl.StopAfter). It is not a failure: the
+// snapshot it carries resumes the run — on this process or another —
+// with output byte-identical to never having stopped.
+type SuspendedError struct {
+	// Events is the number of event-loop dispatches before the cut.
+	Events uint64
+	// Snapshot is the encoded state (an internal/checkpoint container).
+	Snapshot []byte
+}
+
+func (e *SuspendedError) Error() string {
+	return fmt.Sprintf("simulator: run suspended at event %d (%d-byte snapshot)", e.Events, len(e.Snapshot))
+}
+
+// ResumeMismatchError reports a snapshot that cannot resume under the
+// given configuration: a different machine, program, or build. The
+// des backend raises it both on fingerprint mismatch (before any
+// replay) and on replay divergence (the restored state fails its
+// byte-for-byte verification against the snapshot).
+type ResumeMismatchError struct {
+	Reason string
+}
+
+func (e *ResumeMismatchError) Error() string {
+	return "simulator: checkpoint resume mismatch: " + e.Reason
+}
+
+// EncodeCheckpointState appends the processor's complete accounting
+// state to enc, deterministically: map-keyed aggregates are emitted in
+// sorted key order, pooled buffers as capacities only (their contents
+// are dead; capacity is what reuse observes). Two Procs that have
+// executed the same program prefix encode identically — the property
+// the des backend's verified restore is built on.
+func (p *Proc) EncodeCheckpointState(enc *checkpoint.Encoder) {
+	enc.F64(p.clock)
+	enc.F64(p.computeTime)
+	enc.F64(p.commTime)
+	enc.F64(p.recvWait)
+	enc.F64(p.contentionWait)
+	enc.I64(int64(p.msgsSent))
+	enc.I64(int64(p.msgsRecvd))
+	enc.I64(int64(p.wordsSent))
+	enc.I64(int64(p.wordsRecvd))
+	enc.F64(p.computeFactor)
+	enc.F64(p.stragglerExtra)
+	enc.I64(int64(p.sendSeq))
+	enc.F64(p.retryTime)
+	enc.I64(int64(p.retries))
+
+	enc.U32(uint32(len(p.spare)))
+	for _, b := range p.spare {
+		enc.U64(uint64(cap(b)))
+	}
+
+	dsts := make([]int, 0, len(p.links))
+	for d := range p.links { //nodetbreak:ordered — sorted below before encoding
+		dsts = append(dsts, d)
+	}
+	sort.Ints(dsts)
+	enc.U32(uint32(len(dsts)))
+	for _, d := range dsts {
+		l := p.links[d]
+		enc.I64(int64(d))
+		enc.I64(int64(l.msgs))
+		enc.I64(int64(l.words))
+		enc.F64(l.busy)
+	}
+
+	enc.Bool(p.tracing)
+	enc.U32(uint32(len(p.trace)))
+	for _, ev := range p.trace {
+		enc.I64(int64(ev.Rank))
+		enc.U8(uint8(ev.Kind))
+		enc.I64(int64(ev.Peer))
+		enc.I64(int64(ev.Tag))
+		enc.I64(int64(ev.Words))
+		enc.F64(ev.Start)
+		enc.F64(ev.End)
+	}
+}

@@ -74,7 +74,21 @@ func RegisterBackend(b machine.Backend, fn RunFunc) {
 }
 
 // dispatch routes a validated run to the engine the machine selects.
+// A machine carrying a CheckpointControl is routed to the backend's
+// checkpoint-capable runner; a backend without one rejects the run
+// with a typed error rather than silently ignoring the control.
 func dispatch(m *machine.Machine, body func(*Proc), collectTrace bool) (*Result, error) {
+	if m.Checkpoint != nil {
+		fn := checkpointBackends[m.Backend]
+		if fn == nil {
+			return nil, &UnsupportedCapabilityError{
+				Backend:    m.Backend,
+				Capability: "checkpoint/resume",
+				Reason:     "its state has no deterministic consistent cut; use the events backend, or checkpoint at sweep-cell granularity",
+			}
+		}
+		return fn(m, body, collectTrace)
+	}
 	if m.Backend == machine.BackendGoroutines {
 		return runInternal(m, body, collectTrace)
 	}

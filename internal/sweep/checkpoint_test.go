@@ -1,0 +1,243 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"matscale/internal/checkpoint"
+	"matscale/internal/machine"
+)
+
+// ckptSpec is a small mixed grid: some cells run, some are rejected by
+// the formulation (p not a perfect square for cannon), so a checkpoint
+// carries both kinds of completed cells.
+func ckptSpec() *Spec {
+	return &Spec{
+		Algorithms: []string{"cannon", "fox"},
+		Machines:   []string{"ncube2"},
+		Ps:         []int{2, 4},
+		Ns:         []int{4, 8},
+		Seed:       7,
+	}
+}
+
+// suspendAfter runs the spec serially and closes the suspend channel
+// once k cells have completed, returning the resulting checkpoint.
+func suspendAfter(t *testing.T, s *Spec, k int) *Checkpoint {
+	t.Helper()
+	suspend := make(chan struct{})
+	_, err := Run(s, Options{
+		Workers: 1,
+		Suspend: suspend,
+		Backend: machine.BackendGoroutines,
+		Progress: func(done, total int, r CellResult) {
+			if done == k {
+				close(suspend)
+			}
+		},
+	})
+	var se *SuspendedError
+	if !errors.As(err, &se) {
+		t.Fatalf("suspend after %d cells: got %v, want *SuspendedError", k, err)
+	}
+	if len(se.Checkpoint.Done) != k {
+		t.Fatalf("checkpoint has %d done cells, want %d", len(se.Checkpoint.Done), k)
+	}
+	return se.Checkpoint
+}
+
+// TestSuspendResumeIdentical is the sweep-layer acceptance test: a run
+// suspended at every possible cell boundary and resumed must render —
+// CSV and JSON — byte-identically to the uninterrupted run, with the
+// checkpoint surviving an encode/decode round trip in between (the
+// persisted-and-restarted-process path).
+func TestSuspendResumeIdentical(t *testing.T) {
+	s := ckptSpec()
+	base, err := Run(s, Options{Workers: 1, Backend: machine.BackendGoroutines})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Ran == 0 || base.Skipped == 0 {
+		t.Fatalf("spec should mix ran and skipped cells, got ran=%d skipped=%d", base.Ran, base.Skipped)
+	}
+	for k := 1; k < len(base.Cells); k++ {
+		ck := suspendAfter(t, s, k)
+		if !reflect.DeepEqual(ck.Done, base.Cells[:k]) {
+			t.Fatalf("cut %d: checkpoint cells differ from the first %d baseline cells", k, k)
+		}
+		data, err := ck.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		restored, err := DecodeCheckpoint(data)
+		if err != nil {
+			t.Fatalf("cut %d: decode: %v", k, err)
+		}
+		if !reflect.DeepEqual(restored, ck) {
+			t.Fatalf("cut %d: checkpoint did not round-trip", k)
+		}
+		got, err := Run(s, Options{Workers: 2, Resume: restored, Backend: machine.BackendGoroutines})
+		if err != nil {
+			t.Fatalf("cut %d: resume: %v", k, err)
+		}
+		if got.CSV() != base.CSV() {
+			t.Fatalf("cut %d: resumed CSV differs from uninterrupted", k)
+		}
+		if !reflect.DeepEqual(got, base) {
+			t.Fatalf("cut %d: resumed Result differs from uninterrupted", k)
+		}
+	}
+}
+
+// TestResumeProgressReplays asserts a resumed run's progress stream
+// still accounts for every cell: the resumed cells replay first, in
+// cell order, then the simulated remainder follows.
+func TestResumeProgressReplays(t *testing.T) {
+	s := ckptSpec()
+	base, err := Run(s, Options{Workers: 1, Backend: machine.BackendGoroutines})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := suspendAfter(t, s, 3)
+	var keys []string
+	total := len(base.Cells)
+	_, err = Run(s, Options{
+		Workers: 1,
+		Resume:  ck,
+		Backend: machine.BackendGoroutines,
+		Progress: func(done, tot int, r CellResult) {
+			if tot != total {
+				t.Errorf("progress total %d, want %d", tot, total)
+			}
+			if done != len(keys)+1 {
+				t.Errorf("progress done %d, want %d", done, len(keys)+1)
+			}
+			keys = append(keys, r.Key())
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != total {
+		t.Fatalf("progress reported %d cells, want %d", len(keys), total)
+	}
+	for i := 0; i < 3; i++ {
+		if keys[i] != base.Cells[i].Key() {
+			t.Fatalf("replayed progress %d = %q, want %q", i, keys[i], base.Cells[i].Key())
+		}
+	}
+}
+
+// TestEmptyCheckpointResumes asserts a checkpoint with no completed
+// cells — what a job suspended while still queued persists — resumes
+// into a full, identical run.
+func TestEmptyCheckpointResumes(t *testing.T) {
+	s := ckptSpec()
+	base, err := Run(s, Options{Workers: 1, Backend: machine.BackendGoroutines})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := &Checkpoint{Spec: *s, Backend: machine.BackendGoroutines}
+	data, err := ck.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := DecodeCheckpoint(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(s, Options{Workers: 1, Resume: restored, Backend: machine.BackendGoroutines})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, base) {
+		t.Fatal("resume from empty checkpoint differs from a fresh run")
+	}
+}
+
+// TestResumeRejectsMismatch covers the typed rejections: a checkpoint
+// for a different spec, a different backend, or carrying a cell the
+// grid does not contain.
+func TestResumeRejectsMismatch(t *testing.T) {
+	s := ckptSpec()
+	ck := suspendAfter(t, s, 2)
+
+	expectMismatch := func(t *testing.T, err error) {
+		t.Helper()
+		var me *CheckpointMismatchError
+		if !errors.As(err, &me) {
+			t.Fatalf("got %v, want *CheckpointMismatchError", err)
+		}
+	}
+
+	t.Run("DifferentSpec", func(t *testing.T) {
+		other := ckptSpec()
+		other.Seed = 8
+		_, err := Run(other, Options{Resume: ck, Backend: machine.BackendGoroutines})
+		expectMismatch(t, err)
+	})
+	t.Run("DifferentBackend", func(t *testing.T) {
+		_, err := Run(s, Options{Resume: ck, Backend: machine.BackendEvents})
+		expectMismatch(t, err)
+	})
+	t.Run("ForeignCell", func(t *testing.T) {
+		bad := &Checkpoint{Spec: *s, Backend: machine.BackendGoroutines}
+		bad.Done = append(bad.Done, ck.Done...)
+		bad.Done[0].P = 1024
+		_, err := Run(s, Options{Resume: bad, Backend: machine.BackendGoroutines})
+		expectMismatch(t, err)
+	})
+}
+
+// TestDecodeRejectsBadBytes asserts corruption and foreign containers
+// fail with typed container errors, never a half-decoded checkpoint.
+func TestDecodeRejectsBadBytes(t *testing.T) {
+	ck := suspendAfter(t, ckptSpec(), 2)
+	data, err := ck.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, len(data) / 2, len(data) - 1} {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x01
+		if _, err := DecodeCheckpoint(mut); !errors.Is(err, checkpoint.ErrIntegrity) && !errors.Is(err, checkpoint.ErrBadMagic) {
+			t.Fatalf("byte %d flipped: got %v, want integrity/magic error", i, err)
+		}
+	}
+	if _, err := DecodeCheckpoint(data[:len(data)/2]); err == nil {
+		t.Fatal("truncated checkpoint decoded")
+	}
+	other := &checkpoint.Snapshot{Kind: "matscale/des-run", Version: 1}
+	var ke *checkpoint.KindError
+	if _, err := DecodeCheckpoint(other.Encode()); !errors.As(err, &ke) {
+		t.Fatalf("foreign kind: got %v, want *checkpoint.KindError", err)
+	}
+}
+
+// TestCancelBeatsSuspend asserts that when both channels are closed the
+// sweep reports cancellation, not suspension.
+func TestCancelBeatsSuspend(t *testing.T) {
+	cancel := make(chan struct{})
+	suspend := make(chan struct{})
+	close(cancel)
+	close(suspend)
+	_, err := Run(ckptSpec(), Options{Workers: 1, Cancel: cancel, Suspend: suspend})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("got %v, want ErrCanceled", err)
+	}
+}
+
+// TestSuspendedErrorMessage pins the human-facing rendering.
+func TestSuspendedErrorMessage(t *testing.T) {
+	se := &SuspendedError{Checkpoint: &Checkpoint{Done: make([]CellResult, 3)}}
+	if got, want := se.Error(), "sweep: suspended with 3 cells done"; got != want {
+		t.Fatalf("Error() = %q, want %q", got, want)
+	}
+	me := &CheckpointMismatchError{Reason: "x"}
+	if got, want := me.Error(), "sweep: checkpoint mismatch: x"; got != want {
+		t.Fatalf("Error() = %q, want %q", got, want)
+	}
+	_ = fmt.Sprintf("%v", me)
+}

@@ -146,6 +146,19 @@ type Options struct {
 	// executing run to completion (a cell is the abort granularity), so
 	// cancellation never tears a simulation mid-flight.
 	Cancel <-chan struct{}
+	// Suspend, when non-nil, suspends the sweep when closed: cells not
+	// yet started are skipped, cells already executing finish (a cell is
+	// the suspension granularity, mirroring Cancel), and Run returns a
+	// *SuspendedError whose Checkpoint carries every completed cell.
+	// When Cancel and Suspend close together, cancellation wins.
+	Suspend <-chan struct{}
+	// Resume, when non-nil, seeds the run with a prior suspension's
+	// completed cells: they are merged into the Result (and replayed
+	// through Progress, in cell order, before any simulation starts) and
+	// only the remainder is simulated. The checkpoint's spec and backend
+	// must match this run's exactly, else Run returns a typed
+	// *CheckpointMismatchError.
+	Resume *Checkpoint
 }
 
 // CellCache memoizes measured cell results across sweep runs. Get
@@ -407,6 +420,30 @@ func Run(s *Spec, opt Options) (*Result, error) {
 
 	res := &Result{Spec: *s, Cells: make([]CellResult, len(cells))}
 
+	// Seed the grid from a resumed checkpoint. completed marks cells the
+	// fan-out must not re-run; its slots are only touched by the owning
+	// worker afterwards, so the post-ForEach read is race-free (the pool
+	// joins before returning).
+	completed := make([]bool, len(cells))
+	if ck := opt.Resume; ck != nil {
+		if err := validateResume(ck, s, opt.Backend); err != nil {
+			return nil, err
+		}
+		index := make(map[string]int, len(cells))
+		for i, c := range cells {
+			index[c.Key()] = i
+		}
+		for _, r := range ck.Done {
+			i, ok := index[r.Cell.Key()]
+			if !ok {
+				return nil, &CheckpointMismatchError{Reason: fmt.Sprintf(
+					"checkpoint cell %q is not in the grid", r.Cell.Key())}
+			}
+			res.Cells[i] = r
+			completed[i] = true
+		}
+	}
+
 	// Serial pre-pass 1: closed-form predictions, memoized. Cells that
 	// share (algorithm, machine, n, p) — e.g. the same grid point under
 	// different fault scenarios — hit the cache.
@@ -452,11 +489,29 @@ func Run(s *Spec, opt Options) (*Result, error) {
 			mu.Unlock()
 		}
 	}
+	// Replay resumed cells through Progress in cell order before the
+	// fan-out, so a resumed sweep's progress stream still accounts for
+	// every cell of the grid.
+	for i, ok := range completed {
+		if ok {
+			report(res.Cells[i])
+		}
+	}
 	err = ForEach(opt.Workers, len(cells), func(i int) error {
+		if completed[i] {
+			return nil
+		}
 		if opt.Cancel != nil {
 			select {
 			case <-opt.Cancel:
 				return ErrCanceled
+			default:
+			}
+		}
+		if opt.Suspend != nil {
+			select {
+			case <-opt.Suspend:
+				return errSuspended
 			default:
 			}
 		}
@@ -466,6 +521,7 @@ func Run(s *Spec, opt Options) (*Result, error) {
 			key = s.CellKey(c, opt.Backend)
 			if r, ok := opt.Cache.Get(key); ok {
 				res.Cells[i] = r
+				completed[i] = true
 				report(r)
 				return nil
 			}
@@ -476,9 +532,19 @@ func Run(s *Spec, opt Options) (*Result, error) {
 			opt.Cache.Put(key, r)
 		}
 		res.Cells[i] = r
+		completed[i] = true
 		report(r)
 		return nil
 	})
+	if errors.Is(err, errSuspended) {
+		ck := &Checkpoint{Spec: *s, Backend: opt.Backend}
+		for i, ok := range completed {
+			if ok {
+				ck.Done = append(ck.Done, res.Cells[i])
+			}
+		}
+		return nil, &SuspendedError{Checkpoint: ck}
+	}
 	if err != nil {
 		return nil, err
 	}
