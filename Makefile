@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke bench-json bench-gate backend-equivalence checkpoint-equivalence sweep-determinism lint vet vet-tool fuzz cover verify repro server loadtest loadtest-json clean
+.PHONY: all build test race bench bench-smoke bench-json bench-gate backend-equivalence checkpoint-equivalence kernel-equivalence sweep-determinism lint vet vet-tool fuzz cover verify repro server loadtest loadtest-json clean
 
 all: build test
 
@@ -27,11 +27,12 @@ bench-json:
 	$(GO) run ./scripts/bench2json -in bench_pr.txt -out BENCH_pr.json
 
 # The CI regression gate: fail on >10% geomean ns/op slowdown in the
-# engine benchmarks (both backends) between two bench-json style runs.
+# engine benchmarks (both backends) and the host matmul kernel between
+# two bench-json style runs.
 BENCH_OLD ?= bench_main.txt
 BENCH_NEW ?= bench_pr.txt
 bench-gate:
-	$(GO) run ./scripts/benchgate -old $(BENCH_OLD) -new $(BENCH_NEW) -pkg 'internal/(simulator|des)' -max 0.10
+	$(GO) run ./scripts/benchgate -old $(BENCH_OLD) -new $(BENCH_NEW) -pkg 'internal/(simulator|des|matrix)' -max 0.10
 
 # The cross-backend differential suite under the race detector: the
 # goroutine and discrete-event engines must produce byte-identical
@@ -47,6 +48,13 @@ checkpoint-equivalence:
 	$(GO) test -race -count=1 ./internal/checkpoint
 	$(GO) test -race -count=1 -run 'TestResumeDifferential|TestCheckpoint|TestSuspend' ./internal/des ./internal/sweep ./internal/server
 	$(GO) test -race -count=1 -run 'TestCheckpoint|TestRestore|TestResume' .
+
+# The host-kernel differential suite under the race detector: the
+# parallel matmul kernel must be byte-identical to the serial kernel at
+# workers ∈ {1, 2, 4, NumCPU}, on both partition axes
+# (docs/PERFORMANCE.md). Mirrors sweep-determinism for the kernel.
+kernel-equivalence:
+	$(GO) test -race -count=1 -run 'TestKernelWorkerEquivalence|TestMulAddIntoParallel' ./internal/matrix
 
 # The CI determinism check: the same sweep spec must emit byte-identical
 # CSV at 1 and 8 host workers, under the race detector (docs/SWEEP.md).
@@ -82,6 +90,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzFaultedPrograms -fuzztime=$(FUZZTIME) -run='^$$' ./internal/simulator
 	$(GO) test -fuzz=FuzzBackendEquivalence -fuzztime=$(FUZZTIME) -run='^$$' ./internal/des
 	$(GO) test -fuzz=FuzzCheckpointRoundTrip -fuzztime=$(FUZZTIME) -run='^$$' ./internal/checkpoint
+	$(GO) test -fuzz=FuzzKernelWorkerEquivalence -fuzztime=$(FUZZTIME) -run='^$$' ./internal/matrix
 
 # Coverage with the CI floor check (75% of statements in internal/...).
 cover:

@@ -334,6 +334,16 @@ func WithDNSGrid(gridSide int) Option {
 // CPUs. It does not affect the simulated algorithms, whose processor
 // count is the machine's, and it never changes any measured or
 // emitted byte — only the wall-clock time.
+//
+// Host-kernel semantics: for HostMul the worker count selects how many
+// goroutines the host matmul kernel runs, over a static ownership
+// partition of the output (ncBlock-aligned column panels when the
+// output is wide enough, whole-row bands otherwise) computed from the
+// input shapes alone. Every output element is written by exactly one
+// worker running the serial kernel's own accumulation loop, so the
+// product is bit-identical — including Inf/NaN propagation — at every
+// worker count; see docs/PERFORMANCE.md. Worker counts the shape
+// cannot feed are clamped rather than erroring.
 func WithWorkers(n int) Option {
 	return func(c *runConfig) { c.workers = n }
 }
@@ -703,6 +713,11 @@ func RunAll(w io.Writer, quick bool, opts ...Option) error {
 // of the public API. WithWorkers selects the worker count (default all
 // CPUs); the other options are ignored. It returns an error on an
 // inner-dimension mismatch (a and b may be rectangular).
+//
+// The result is bit-identical to Mul at any worker count: the kernel
+// partitions the output into statically owned slabs and runs the
+// serial accumulation loop inside each, so parallelism only changes
+// wall-clock time, never a single output bit.
 func HostMul(a, b *Matrix, opts ...Option) (*Matrix, error) {
 	cfg := newRunConfig(opts)
 	return shm.Mul(a, b, cfg.workers, 0)

@@ -209,6 +209,7 @@ func cmdRun(args []string) error {
 	ckptFile := fs.String("checkpoint", "", "write the snapshot of a suspended run to this file (requires -suspend-after and -backend events)")
 	suspendAfter := fs.Uint64("suspend-after", 0, "suspend at the consistent cut after this many event dispatches (requires -checkpoint)")
 	resumeFile := fs.String("resume", "", "resume from a snapshot written by an earlier -checkpoint run (same -alg, -n, -p, -machine flags)")
+	hostWorkers := fs.Int("workers", 0, "host goroutine workers for the verification multiply (0 = all CPUs; bit-identical at any count)")
 	fs.Parse(args)
 
 	m, err := machineForPreset(*machineName, *p, *ts, *tw)
@@ -322,7 +323,14 @@ func cmdRun(args []string) error {
 		return err
 	}
 
-	serial := matscale.Mul(a, b)
+	// The verification product runs on the parallel host kernel: its
+	// deterministic ownership partition makes the result bit-identical
+	// to matscale.Mul at any -workers count, so the reference is stable
+	// no matter how the host parallelism is configured.
+	serial, err := matscale.HostMul(a, b, matscale.WithWorkers(*hostWorkers))
+	if err != nil {
+		return err
+	}
 	maxDiff := 0.0
 	for i := range serial.Data {
 		if d := math.Abs(serial.Data[i] - res.C.Data[i]); d > maxDiff {

@@ -75,6 +75,22 @@ var chargedPkgs = map[string]bool{
 	"matscale/internal/collective": true,
 }
 
+// hostKernelPkgs are packages that run real computation on the host
+// machine and are deliberately OUTSIDE the cost-charging contract:
+// they are not algorithm formulations, so their goroutines, sync
+// primitives, and shared memory move no simulated data and there is no
+// ts + tw·m transfer for the model to miss. internal/matrix hosts the
+// parallel matmul kernel (goroutine workers over a deterministic
+// ownership partition) and internal/shm is its thin public-API shim.
+// The table exists to make the exemption explicit rather than an
+// accident of omission from chargedPkgs — a future PR moving paper
+// algorithm code into one of these packages should move that code into
+// a charged package instead of inheriting the exemption.
+var hostKernelPkgs = map[string]bool{
+	"matscale/internal/matrix": true,
+	"matscale/internal/shm":    true,
+}
+
 // clockOwnerPkgs are the packages allowed to mutate machine cost
 // constants and simulator measurement fields. internal/des is an
 // engine like the simulator itself: its native systolic tier assembles
@@ -136,6 +152,12 @@ func Deterministic(path string) bool { return deterministicPkgs[Normalize(path)]
 // Charged reports whether the package at path is bound by the
 // cost-charging contract (costcharge).
 func Charged(path string) bool { return chargedPkgs[Normalize(path)] }
+
+// HostKernel reports whether the package at path is a documented host
+// compute kernel, exempt from the cost-charging contract because its
+// parallelism is real host work rather than simulated communication.
+// Charged and HostKernel are mutually exclusive by construction.
+func HostKernel(path string) bool { return hostKernelPkgs[Normalize(path)] }
 
 // ClockOwner reports whether the package at path may mutate guarded
 // clock/metrics fields (clockguard).

@@ -9,6 +9,9 @@ import (
 )
 
 func TestCostcharge(t *testing.T) {
+	// internal/matrix is the documented host-kernel exemption
+	// (config.HostKernel): its fixture uses goroutines, sync, and
+	// channels and must produce zero diagnostics.
 	analyzertest.Run(t, filepath.Join("testdata"), costcharge.Analyzer,
-		"matscale/internal/core", "clean")
+		"matscale/internal/core", "matscale/internal/matrix", "clean")
 }

@@ -65,6 +65,92 @@ func (g *Grid) Assemble() *Dense {
 	return m
 }
 
+// OwnershipAxis selects the dimension along which a parallel host
+// kernel partitions the output matrix among workers.
+type OwnershipAxis int
+
+const (
+	// OwnCols partitions the output into ncBlock-aligned column
+	// panels: each worker owns a contiguous range of whole panels and
+	// walks them in the serial kernel's panel order.
+	OwnCols OwnershipAxis = iota
+	// OwnRows partitions the output into whole-row bands — the
+	// fallback when the output is too narrow to give every worker at
+	// least one full column panel.
+	OwnRows
+)
+
+// String names the axis for test failures and diagnostics.
+func (a OwnershipAxis) String() string {
+	if a == OwnCols {
+		return "cols"
+	}
+	return "rows"
+}
+
+// OwnershipSpan is one worker's slab of the output: the half-open
+// column range [Start, End) under OwnCols, or the half-open row range
+// under OwnRows. Spans never overlap, so every output element is
+// written by exactly one worker.
+type OwnershipSpan struct{ Start, End int }
+
+// OwnershipPlan is the static partition of an output matrix among host
+// workers. It is a pure function of the output shape and the requested
+// worker count — never of scheduling, load, or timing — which is what
+// makes the parallel kernel's result reproducible at any worker count:
+// the same element is always computed by the same (deterministic)
+// accumulation loop, just possibly on a different goroutine.
+type OwnershipPlan struct {
+	Axis  OwnershipAxis
+	Spans []OwnershipSpan // one per worker; every span is non-empty
+}
+
+// Serial reports whether the plan degenerates to the serial kernel —
+// at most one worker owns the whole output, so the caller should run
+// inline without spawning any goroutine.
+func (p OwnershipPlan) Serial() bool { return len(p.Spans) <= 1 }
+
+// PlanOwnership builds the ownership map for a rows×cols output and
+// the requested worker count. The plan prefers ncBlock-aligned column
+// panels, because a worker then reuses the serial kernel's panel
+// traversal (and its L2-resident b panel) unchanged; when the output
+// is too narrow for every worker to own at least one full panel
+// (cols < workers·ncBlock) it falls back to whole-row bands. Worker
+// counts exceeding the available panels or rows are clamped, so no
+// plan ever contains an empty span and the parallel kernel never
+// spawns an idle goroutine. Zero-dimension outputs and workers ≤ 1
+// yield a serial plan.
+func PlanOwnership(rows, cols, workers int) OwnershipPlan {
+	if rows <= 0 || cols <= 0 || workers <= 1 {
+		return OwnershipPlan{Axis: OwnCols}
+	}
+	if cols >= workers*ncBlock {
+		// Column-panel mode: distribute whole ncBlock-wide panels
+		// contiguously. cols ≥ workers·ncBlock guarantees panels ≥
+		// workers, so every worker owns at least one panel.
+		panels := (cols + ncBlock - 1) / ncBlock
+		plan := OwnershipPlan{Axis: OwnCols, Spans: make([]OwnershipSpan, workers)}
+		for w := 0; w < workers; w++ {
+			p0, p1 := w*panels/workers, (w+1)*panels/workers
+			plan.Spans[w] = OwnershipSpan{Start: p0 * ncBlock, End: min(p1*ncBlock, cols)}
+		}
+		return plan
+	}
+	// Row-band mode: contiguous whole-row bands, workers clamped to
+	// the row count so every band holds at least one row.
+	if workers > rows {
+		workers = rows
+	}
+	if workers <= 1 {
+		return OwnershipPlan{Axis: OwnRows}
+	}
+	plan := OwnershipPlan{Axis: OwnRows, Spans: make([]OwnershipSpan, workers)}
+	for w := 0; w < workers; w++ {
+		plan.Spans[w] = OwnershipSpan{Start: w * rows / workers, End: (w + 1) * rows / workers}
+	}
+	return plan
+}
+
 // ColumnBands splits m into s vertical bands of equal width
 // (Berntsen's algorithm splits A this way, Section 4.4).
 func ColumnBands(m *Dense, s int) []*Dense {

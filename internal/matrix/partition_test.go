@@ -114,6 +114,122 @@ func TestBandsPanics(t *testing.T) {
 	})
 }
 
+// spanCoverage asserts the spans tile [0, extent) contiguously with no
+// empty span — the "every element written by exactly one worker, no
+// idle goroutine" half of the ownership contract.
+func spanCoverage(t *testing.T, plan OwnershipPlan, extent int) {
+	t.Helper()
+	at := 0
+	for i, s := range plan.Spans {
+		if s.Start != at {
+			t.Fatalf("span %d starts at %d, want %d (spans %v)", i, s.Start, at, plan.Spans)
+		}
+		if s.End <= s.Start {
+			t.Fatalf("span %d is empty: [%d, %d)", i, s.Start, s.End)
+		}
+		at = s.End
+	}
+	if at != extent {
+		t.Fatalf("spans cover [0, %d), want [0, %d)", at, extent)
+	}
+}
+
+// TestPlanOwnershipSerialDegradation: zero-dimension outputs, a single
+// worker, and worker counts the shape cannot feed all degrade to the
+// serial plan, so the parallel kernel spawns no goroutine at all.
+func TestPlanOwnershipSerialDegradation(t *testing.T) {
+	for _, c := range []struct {
+		name                string
+		rows, cols, workers int
+	}{
+		{"zero rows", 0, 64, 8},
+		{"zero cols", 64, 0, 8},
+		{"zero both", 0, 0, 4},
+		{"one worker", 512, 512, 1},
+		{"zero workers", 512, 512, 0},
+		{"negative workers", 512, 512, -2},
+		{"single row single panel", 1, 1, 8},
+	} {
+		if plan := PlanOwnership(c.rows, c.cols, c.workers); !plan.Serial() {
+			t.Errorf("%s: PlanOwnership(%d, %d, %d) = %+v, want serial",
+				c.name, c.rows, c.cols, c.workers, plan)
+		}
+	}
+}
+
+// TestPlanOwnershipColumnPanels: wide outputs split into ncBlock-
+// aligned column panels, one contiguous non-empty range per worker.
+func TestPlanOwnershipColumnPanels(t *testing.T) {
+	for _, c := range []struct{ rows, cols, workers int }{
+		{1, 512, 2}, {7, 513, 2}, {3, 1024, 4}, {100, 1100, 4}, {2, 2048, 8}, {5, 4097, 8},
+	} {
+		plan := PlanOwnership(c.rows, c.cols, c.workers)
+		if plan.Axis != OwnCols {
+			t.Fatalf("PlanOwnership(%d, %d, %d).Axis = %v, want cols", c.rows, c.cols, c.workers, plan.Axis)
+		}
+		if len(plan.Spans) != c.workers {
+			t.Fatalf("PlanOwnership(%d, %d, %d) has %d spans, want %d",
+				c.rows, c.cols, c.workers, len(plan.Spans), c.workers)
+		}
+		spanCoverage(t, plan, c.cols)
+		for i, s := range plan.Spans {
+			if s.Start%256 != 0 {
+				t.Errorf("span %d start %d is not ncBlock-aligned", i, s.Start)
+			}
+		}
+	}
+}
+
+// TestPlanOwnershipRowBandFallback: outputs too narrow for a full
+// panel per worker fall back to whole-row bands, and worker counts
+// exceeding the row count clamp so no span is empty.
+func TestPlanOwnershipRowBandFallback(t *testing.T) {
+	for _, c := range []struct{ rows, cols, workers, wantSpans int }{
+		{64, 64, 4, 4},   // narrow output → row bands
+		{512, 511, 2, 2}, // one column short of two panels
+		{3, 300, 8, 3},   // workers > rows: clamp to 3 bands
+		{1, 128, 8, 0},   // clamps to one row → serial, no spans
+		{100, 255, 100, 100},
+	} {
+		plan := PlanOwnership(c.rows, c.cols, c.workers)
+		if c.wantSpans == 0 {
+			if !plan.Serial() {
+				t.Fatalf("PlanOwnership(%d, %d, %d) = %+v, want serial", c.rows, c.cols, c.workers, plan)
+			}
+			continue
+		}
+		if plan.Axis != OwnRows {
+			t.Fatalf("PlanOwnership(%d, %d, %d).Axis = %v, want rows", c.rows, c.cols, c.workers, plan.Axis)
+		}
+		if len(plan.Spans) != c.wantSpans {
+			t.Fatalf("PlanOwnership(%d, %d, %d) has %d spans, want %d",
+				c.rows, c.cols, c.workers, len(plan.Spans), c.wantSpans)
+		}
+		spanCoverage(t, plan, c.rows)
+	}
+}
+
+// TestPlanOwnershipDeterministic: the plan is a pure function of the
+// shape and worker count — repeated calls agree exactly.
+func TestPlanOwnershipDeterministic(t *testing.T) {
+	f := func(rows, cols, workers uint8) bool {
+		p1 := PlanOwnership(int(rows), int(cols)*17, int(workers))
+		p2 := PlanOwnership(int(rows), int(cols)*17, int(workers))
+		if p1.Axis != p2.Axis || len(p1.Spans) != len(p2.Spans) {
+			return false
+		}
+		for i := range p1.Spans {
+			if p1.Spans[i] != p2.Spans[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // Property: the outer-product decomposition used by Berntsen's algorithm
 // is exact: C = Σ_i A_coli · B_rowi.
 func TestQuickOuterProductDecomposition(t *testing.T) {

@@ -1,16 +1,15 @@
 // Package shm provides a real shared-memory parallel matrix multiply
-// for the host machine: goroutine workers over row bands with a
-// cache-blocked inner kernel. It is the "library user" fast path — the
-// paper's algorithms target distributed-memory machines and run on the
-// virtual-time simulator, while this package delivers actual wall-clock
-// speedup on the machine running the code and anchors the repository's
-// real (non-simulated) benchmarks.
+// for the host machine: goroutine workers over a deterministic
+// ownership partition of the output with a cache-blocked inner kernel.
+// It is the "library user" fast path — the paper's algorithms target
+// distributed-memory machines and run on the virtual-time simulator,
+// while this package delivers actual wall-clock speedup on the machine
+// running the code and anchors the repository's real (non-simulated)
+// benchmarks.
 package shm
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"matscale/internal/matrix"
 )
@@ -23,58 +22,20 @@ const DefaultTile = 64
 // DefaultTile; retained for API compatibility — the shared kernel
 // chooses its own panel sizes). It returns an error when the inner
 // dimensions do not match, in the error style of the rest of the
-// public API. Each row band delegates to matrix.MulAddInto, whose
-// per-element accumulation order matches the serial kernel exactly, so
-// the result is bit-identical to matrix.Mul at any worker count.
+// public API. The work is delegated to matrix.MulAddIntoParallel,
+// which partitions the output into statically owned slabs (column
+// panels or row bands, chosen from the shape alone) and runs the
+// serial kernel's own accumulation loop inside each, so the result is
+// bit-identical to matrix.Mul at any worker count.
 func Mul(a, b *matrix.Dense, workers, tile int) (*matrix.Dense, error) {
 	if a.Cols != b.Rows {
 		return nil, fmt.Errorf("shm: inner dimension mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	if tile <= 0 {
 		tile = DefaultTile
 	}
-	n, m, k := a.Rows, b.Cols, a.Cols
-	c := matrix.New(n, m)
-	if n == 0 || m == 0 || k == 0 {
-		return c, nil
-	}
-	if workers > n {
-		workers = n
-	}
-
-	// Static row-band partition: band i covers rows [bounds[i], bounds[i+1]).
-	bounds := make([]int, workers+1)
-	for i := 0; i <= workers; i++ {
-		bounds[i] = i * n / workers
-	}
-
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(r0, r1 int) {
-			defer wg.Done()
-			mulRows(c, a, b, r0, r1)
-		}(bounds[w], bounds[w+1])
-	}
-	wg.Wait()
+	_ = tile
+	c := matrix.New(a.Rows, b.Cols)
+	matrix.MulAddIntoParallel(c, a, b, workers)
 	return c, nil
-}
-
-// mulRows computes rows [r0, r1) of c = a·b by viewing the band as a
-// zero-copy sub-matrix and delegating to the shared tiled kernel in
-// internal/matrix. Row bands partition c and a by whole rows, so the
-// views alias disjoint memory and each band's per-element accumulation
-// order is exactly the serial kernel's: the parallel product is
-// bit-identical to matrix.Mul.
-func mulRows(c, a, b *matrix.Dense, r0, r1 int) {
-	if r0 >= r1 {
-		return
-	}
-	m, k := b.Cols, a.Cols
-	cBand := &matrix.Dense{Rows: r1 - r0, Cols: m, Data: c.Data[r0*m : r1*m]}
-	aBand := &matrix.Dense{Rows: r1 - r0, Cols: k, Data: a.Data[r0*k : r1*k]}
-	matrix.MulAddInto(cBand, aBand, b)
 }

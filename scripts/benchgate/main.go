@@ -1,11 +1,12 @@
 // Command benchgate is the CI benchmark regression gate: it compares
 // two `go test -bench` text outputs (the PR revision against main) and
 // fails when the geometric-mean ns/op ratio over the gated benchmarks
-// exceeds the allowed slowdown. The default scope is the simulator
-// message path — the hot path every formulation's host time rides on —
-// so a PR that regresses `BenchmarkDeliver*` or the simulated
-// algorithm suite by more than 10% geomean fails the bench job instead
-// of shipping quietly.
+// exceeds the allowed slowdown. The default scope covers the hot paths
+// every run rides on: the simulator message path (both backends) and
+// the host matmul kernel in internal/matrix — so a PR that regresses
+// `BenchmarkDeliver*`, the simulated algorithm suite, or the serial or
+// parallel host kernel by more than 10% geomean fails the bench job
+// instead of shipping quietly.
 //
 // Usage:
 //
@@ -25,6 +26,12 @@ import (
 	"strconv"
 	"strings"
 )
+
+// defaultPkgPat is the package scope gated when -pkg is not given: the
+// two simulator backends plus the host matmul kernel. internal/matrix
+// joined the scope when the parallel host kernel landed — a kernel
+// regression is as much a shipped slowdown as a simulator one.
+const defaultPkgPat = "internal/(simulator|des|matrix)"
 
 // sample accumulates the ns/op values of one benchmark across -count
 // repeats; the gate compares per-benchmark means.
@@ -111,7 +118,7 @@ func parseFile(path string, pkgRe, nameRe *regexp.Regexp) (map[string]sample, er
 func main() {
 	oldFile := flag.String("old", "", "baseline bench output (main)")
 	newFile := flag.String("new", "", "candidate bench output (PR)")
-	pkgPat := flag.String("pkg", "internal/simulator", "regexp of packages to gate on")
+	pkgPat := flag.String("pkg", defaultPkgPat, "regexp of packages to gate on")
 	namePat := flag.String("name", ".", "regexp of benchmark names to gate on")
 	maxSlow := flag.Float64("max", 0.10, "maximum allowed geomean slowdown (0.10 = +10%)")
 	flag.Parse()

@@ -78,6 +78,38 @@ func TestGateCatchesRegression(t *testing.T) {
 	}
 }
 
+// TestDefaultScopeCoversKernelAndBothBackends pins the default -pkg
+// regexp: the gate must watch both simulator backends AND the host
+// matmul kernel, and must not silently widen to unrelated packages.
+func TestDefaultScopeCoversKernelAndBothBackends(t *testing.T) {
+	re := regexp.MustCompile(defaultPkgPat)
+	for _, pkg := range []string{
+		"matscale/internal/simulator",
+		"matscale/internal/des",
+		"matscale/internal/matrix",
+	} {
+		if !re.MatchString(pkg) {
+			t.Errorf("default scope %q misses %s", defaultPkgPat, pkg)
+		}
+	}
+	for _, pkg := range []string{
+		"matscale/internal/core",
+		"matscale/internal/shm",
+		"matscale",
+	} {
+		if re.MatchString(pkg) {
+			t.Errorf("default scope %q unexpectedly gates %s", defaultPkgPat, pkg)
+		}
+	}
+	o, err := parse(strings.NewReader(oldRun), re, regexp.MustCompile("."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := o["matscale/internal/matrix.BenchmarkMulAddInto/n=256-8"]; !ok {
+		t.Errorf("default scope did not pick up the matrix kernel benchmark: %v", o)
+	}
+}
+
 func TestGateRefusesEmptyOverlap(t *testing.T) {
 	o, n := parseBoth(t, "no/such/package", ".")
 	if _, err := gate(o, n, &strings.Builder{}); err == nil {
